@@ -1,0 +1,53 @@
+// Command agreementbench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: the delay, resilience and signature-cost measurements that
+// reproduce the quantitative claims of "The Impact of RDMA on Agreement".
+//
+// Usage:
+//
+//	agreementbench               # run every experiment
+//	agreementbench -table e1     # run a single experiment (e1, e2, e3, e4, e5, e6, e8, e9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdmaagreement"
+)
+
+func main() {
+	table := flag.String("table", "all", "experiment to run (e1..e9, or 'all')")
+	flag.Parse()
+	if err := run(*table); err != nil {
+		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	experiments := rdmaagreement.Experiments()
+	ids := rdmaagreement.ExperimentIDs()
+	if which != "all" {
+		runner, ok := experiments[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (available: %v)", which, ids)
+		}
+		return runOne(which, runner)
+	}
+	for _, id := range ids {
+		if err := runOne(id, experiments[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(id string, runner func() (rdmaagreement.Table, error)) error {
+	table, err := runner()
+	if err != nil {
+		return fmt.Errorf("experiment %s: %w", id, err)
+	}
+	fmt.Println(table.String())
+	return nil
+}

@@ -1,0 +1,169 @@
+package aligned
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/netsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/types"
+)
+
+type fixture struct {
+	procs   []types.ProcID
+	pool    *memsim.Pool
+	net     *netsim.Network
+	routers map[types.ProcID]*netsim.Router
+	oracle  *omega.Static
+	nodes   map[types.ProcID]*Node
+}
+
+func newFixture(t *testing.T, n, m int) *fixture {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return Layout(procs)
+	}, memsim.Options{})
+	f := &fixture{
+		procs:   procs,
+		pool:    pool,
+		net:     netsim.New(netsim.Options{}),
+		routers: make(map[types.ProcID]*netsim.Router),
+		oracle:  omega.NewStatic(1),
+		nodes:   make(map[types.ProcID]*Node),
+	}
+	t.Cleanup(f.net.Close)
+	for _, p := range procs {
+		ep := f.net.Register(p)
+		router := netsim.NewRouter(ep)
+		f.routers[p] = router
+		node, err := New(Config{
+			Self:     p,
+			Procs:    procs,
+			Memories: pool.Memories(),
+			Endpoint: ep,
+			Sub:      router.Subscribe("aligned/", 0),
+			Oracle:   f.oracle,
+		})
+		if err != nil {
+			t.Fatalf("New(%v): %v", p, err)
+		}
+		node.Start()
+		f.nodes[p] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range f.nodes {
+			node.Stop()
+		}
+		for _, r := range f.routers {
+			r.Close()
+		}
+	})
+	return f
+}
+
+func TestDecidesWithAllAgentsAlive(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("aligned-value"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("aligned-value")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+	for _, p := range f.procs {
+		v, err := f.nodes[p].WaitDecision(ctx)
+		if err != nil {
+			t.Fatalf("WaitDecision at %v: %v", p, err)
+		}
+		if !v.Equal(types.Value("aligned-value")) {
+			t.Fatalf("process %v learned %v", p, v)
+		}
+	}
+}
+
+func TestToleratesMixedMinorityMemoryHeavy(t *testing.T) {
+	// 3 processes + 4 memories = 7 agents; crash 3 memories (a minority of
+	// the combined set even though it is a majority of the memories alone).
+	f := newFixture(t, 3, 4)
+	f.pool.CrashQuorumSafe(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("memory-heavy"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("memory-heavy")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+}
+
+func TestToleratesMixedMinorityProcessHeavy(t *testing.T) {
+	// 4 processes + 3 memories = 7 agents; crash 3 processes (all but the
+	// proposer): still a minority of the combined set.
+	f := newFixture(t, 4, 3)
+	f.net.CrashProcess(2)
+	f.net.CrashProcess(3)
+	f.net.CrashProcess(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("process-heavy"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("process-heavy")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+}
+
+func TestBlocksWhenCombinedMajorityCrashes(t *testing.T) {
+	// 2 processes + 3 memories = 5 agents; crashing 3 memories leaves only 2
+	// live agents, below the majority of 3.
+	f := newFixture(t, 2, 3)
+	f.pool.CrashQuorumSafe(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	if _, err := f.nodes[1].Propose(ctx, types.Value("stuck")); err == nil {
+		t.Fatalf("proposal should not complete when a majority of combined agents crashed")
+	}
+}
+
+func TestAgreementAcrossLeaderChange(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	first, err := f.nodes[1].Propose(ctx, types.Value("first"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	f.oracle.SetLeader(2)
+	second, err := f.nodes[2].Propose(ctx, types.Value("second"))
+	if err != nil {
+		t.Fatalf("second Propose: %v", err)
+	}
+	if !second.Value.Equal(first.Value) {
+		t.Fatalf("agreement violated: %v then %v", first.Value, second.Value)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Self: 1}); err == nil {
+		t.Fatalf("empty configuration should be rejected")
+	}
+	procs := []types.ProcID{1}
+	pool := memsim.NewPool(1, func(types.MemID) []memsim.RegionSpec { return Layout(procs) }, memsim.Options{})
+	if _, err := New(Config{Self: 1, Procs: procs, Memories: pool.Memories()}); err == nil {
+		t.Fatalf("missing endpoint should be rejected")
+	}
+}

@@ -1,0 +1,340 @@
+package cheapquorum
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/types"
+)
+
+type fixture struct {
+	procs []types.ProcID
+	pool  *memsim.Pool
+	ring  *sigs.KeyRing
+	nodes map[types.ProcID]*Node
+}
+
+func newFixture(t *testing.T, n, m int, timeout time.Duration) *fixture {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return Layout(procs, 1)
+	}, memsim.Options{LegalChange: LegalChange()})
+	f := &fixture{
+		procs: procs,
+		pool:  pool,
+		ring:  sigs.NewKeyRing(procs),
+		nodes: make(map[types.ProcID]*Node),
+	}
+	for _, p := range procs {
+		node, err := New(Config{
+			Self:            p,
+			Leader:          1,
+			Procs:           procs,
+			FaultyProcesses: (n - 1) / 2,
+			FaultyMemories:  (m - 1) / 2,
+			Memories:        pool.Memories(),
+			Ring:            f.ring,
+			Timeout:         timeout,
+		})
+		if err != nil {
+			t.Fatalf("New(%v): %v", p, err)
+		}
+		f.nodes[p] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range f.nodes {
+			node.Stop()
+		}
+	})
+	return f
+}
+
+func TestConfigValidation(t *testing.T) {
+	procs := []types.ProcID{1, 2, 3}
+	pool := memsim.NewPool(3, func(types.MemID) []memsim.RegionSpec { return Layout(procs, 1) }, memsim.Options{})
+	ring := sigs.NewKeyRing(procs)
+	base := Config{Self: 1, Leader: 1, Procs: procs, FaultyProcesses: 1, FaultyMemories: 1, Memories: pool.Memories(), Ring: ring}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"too many faulty processes": func(c *Config) { c.FaultyProcesses = 2 },
+		"too many faulty memories":  func(c *Config) { c.FaultyMemories = 2 },
+		"missing ring":              func(c *Config) { c.Ring = nil },
+		"missing leader":            func(c *Config) { c.Leader = types.NoProcess },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: config should be rejected", name)
+		}
+	}
+}
+
+func TestLeaderDecidesInTwoDelays(t *testing.T) {
+	f := newFixture(t, 3, 3, 500*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("fast-value"))
+	if err != nil {
+		t.Fatalf("leader Propose: %v", err)
+	}
+	if !out.Decided {
+		t.Fatalf("leader should decide on the fast path, got %+v", out)
+	}
+	if !out.Value.Equal(types.Value("fast-value")) {
+		t.Fatalf("leader decided %v", out.Value)
+	}
+	if out.DecisionDelays != 2 {
+		t.Fatalf("leader decision took %d delays, want 2 (the paper's 2-deciding claim)", out.DecisionDelays)
+	}
+}
+
+func TestFollowersDecideInCommonCase(t *testing.T) {
+	f := newFixture(t, 3, 3, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	outcomes := make(map[types.ProcID]Outcome)
+	var mu sync.Mutex
+	for _, p := range f.procs {
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			out, err := f.nodes[p].Propose(ctx, types.Value("common-case"))
+			if err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			outcomes[p] = out
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	for p, out := range outcomes {
+		if !out.Decided {
+			t.Fatalf("process %v did not decide in the common case: %+v", p, out)
+		}
+		if !out.Value.Equal(types.Value("common-case")) {
+			t.Fatalf("process %v decided %v", p, out.Value)
+		}
+	}
+}
+
+func TestFollowerAbortsWhenLeaderSilent(t *testing.T) {
+	f := newFixture(t, 3, 3, 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// The leader never proposes; followers time out, panic, revoke the
+	// leader's permission and abort with their own inputs.
+	out, err := f.nodes[2].Propose(ctx, types.Value("my-input"))
+	if err != nil {
+		t.Fatalf("follower Propose: %v", err)
+	}
+	if out.Decided {
+		t.Fatalf("follower should not decide without a leader proposal")
+	}
+	if !out.AbortValue.Equal(types.Value("my-input")) {
+		t.Fatalf("abort value %v, want the follower's own input", out.AbortValue)
+	}
+	if out.LeaderSigned || out.HasUnanimityProof {
+		t.Fatalf("abort without leader value should have bottom priority: %+v", out)
+	}
+
+	// After the panic, the leader's write permission is revoked, so a late
+	// leader proposal must fail and the leader must abort with its input
+	// value signed by itself.
+	leaderOut, err := f.nodes[1].Propose(ctx, types.Value("late-leader"))
+	if err != nil {
+		t.Fatalf("late leader Propose: %v", err)
+	}
+	if leaderOut.Decided {
+		t.Fatalf("leader must not decide after its permission was revoked (uncontended-write guarantee)")
+	}
+}
+
+func TestAbortAgreementWithLeaderDecision(t *testing.T) {
+	f := newFixture(t, 3, 3, 300*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// The leader proposes and decides. A follower then panics (it never saw
+	// enough proofs because the third process does not participate). Cheap
+	// Quorum Abort Agreement (Lemma 4.6) requires the follower's abort value
+	// to be the leader's decided value.
+	leaderOut, err := f.nodes[1].Propose(ctx, types.Value("decided-fast"))
+	if err != nil {
+		t.Fatalf("leader Propose: %v", err)
+	}
+	if !leaderOut.Decided {
+		t.Fatalf("leader should decide")
+	}
+
+	followerOut, err := f.nodes[2].Propose(ctx, types.Value("other-input"))
+	if err != nil {
+		t.Fatalf("follower Propose: %v", err)
+	}
+	if followerOut.Decided {
+		// With only two of three processes participating the follower cannot
+		// assemble a unanimity proof, so it must abort.
+		t.Fatalf("follower should abort when unanimity is impossible")
+	}
+	if !followerOut.AbortValue.Equal(types.Value("decided-fast")) {
+		t.Fatalf("abort agreement violated: leader decided %v but follower aborts with %v",
+			leaderOut.Value, followerOut.AbortValue)
+	}
+	if !followerOut.LeaderSigned {
+		t.Fatalf("the abort value copied from the leader must be recognized as leader signed")
+	}
+}
+
+func TestByzantineLeaderEquivocationCausesAbort(t *testing.T) {
+	f := newFixture(t, 3, 3, 100*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// A Byzantine leader writes two different signed values directly to
+	// different memories (bypassing the replicated write). The followers'
+	// replicated read sees conflicting replicas (⊥), so they cannot trust the
+	// leader value and abort.
+	leaderSigner := f.ring.SignerFor(1)
+	signedA, err := leaderSigner.Sign([]byte("value-A"))
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	signedB, err := leaderSigner.Sign([]byte("value-B"))
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	blobA, _ := json.Marshal(signedA)
+	blobB, _ := json.Marshal(signedB)
+	mems := f.pool.Memories()
+	if _, err := mems[0].Write(ctx, 1, LeaderRegion, regValue, blobA, 0); err != nil {
+		t.Fatalf("direct write: %v", err)
+	}
+	if _, err := mems[1].Write(ctx, 1, LeaderRegion, regValue, blobB, 0); err != nil {
+		t.Fatalf("direct write: %v", err)
+	}
+	if _, err := mems[2].Write(ctx, 1, LeaderRegion, regValue, blobB, 0); err != nil {
+		t.Fatalf("direct write: %v", err)
+	}
+
+	out, err := f.nodes[2].Propose(ctx, types.Value("follower-input"))
+	if err != nil {
+		t.Fatalf("follower Propose: %v", err)
+	}
+	if out.Decided && out.Value.Equal(types.Value("value-A")) {
+		// Deciding B (the majority replica value) would be acceptable only if
+		// every correct process agrees; deciding A is impossible. The safe
+		// outcomes are abort or a decision on the unique readable value.
+		t.Fatalf("follower decided the minority equivocated value")
+	}
+}
+
+func TestForgedLeaderValueRejected(t *testing.T) {
+	f := newFixture(t, 3, 3, 100*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// A Byzantine process (not the leader, but one that somehow obtained
+	// write access in a buggy deployment) cannot make followers accept a
+	// value that is not signed by the leader. We simulate by writing a forged
+	// blob directly on every memory.
+	forged := sigs.Forge(1, []byte("forged-value"))
+	blob, _ := json.Marshal(forged)
+	for _, mem := range f.pool.Memories() {
+		if _, err := mem.Write(ctx, 1, LeaderRegion, regValue, blob, 0); err != nil {
+			t.Fatalf("direct write: %v", err)
+		}
+	}
+	out, err := f.nodes[3].Propose(ctx, types.Value("fallback"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if out.Decided {
+		t.Fatalf("follower decided on a forged leader value")
+	}
+	if out.LeaderSigned {
+		t.Fatalf("forged value must not count as leader signed")
+	}
+}
+
+func TestLeaderDecidesDespiteMemoryCrash(t *testing.T) {
+	f := newFixture(t, 3, 3, 500*time.Millisecond)
+	f.pool.CrashQuorumSafe(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("with-crashed-memory"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Decided || out.DecisionDelays != 2 {
+		t.Fatalf("leader should still decide in 2 delays with a crashed memory minority: %+v", out)
+	}
+}
+
+func TestVerifyUnanimityProof(t *testing.T) {
+	f := newFixture(t, 3, 3, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Run the full common case so that real proofs exist, then check the
+	// exported verifier on a follower's abort-with-proof after the fact.
+	var wg sync.WaitGroup
+	for _, p := range f.procs {
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			if _, err := f.nodes[p].Propose(ctx, types.Value("proof-me")); err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Read p2's proof register directly and verify it.
+	node := f.nodes[2]
+	proofBlob, err := node.rep.read(ctx, ProcessRegion(2), regProof)
+	if err != nil {
+		t.Fatalf("read proof: %v", err)
+	}
+	if proofBlob.Bottom() {
+		t.Fatalf("no proof was written in the common case")
+	}
+	if !VerifyUnanimityProof(f.ring, f.procs, 1, proofBlob, types.Value("proof-me")) {
+		t.Fatalf("a genuine unanimity proof failed verification")
+	}
+	if VerifyUnanimityProof(f.ring, f.procs, 1, proofBlob, types.Value("different-value")) {
+		t.Fatalf("a unanimity proof verified against the wrong value")
+	}
+	if VerifyUnanimityProof(f.ring, f.procs, 1, nil, types.Value("proof-me")) {
+		t.Fatalf("a bottom proof should not verify")
+	}
+}
+
+func TestRevokedLeaderPermissionShape(t *testing.T) {
+	perm := RevokedLeaderPermission([]types.ProcID{1, 2, 3})
+	for _, p := range []types.ProcID{1, 2, 3} {
+		if !perm.CanRead(p) {
+			t.Fatalf("process %v should retain read access", p)
+		}
+		if perm.CanWrite(p) {
+			t.Fatalf("process %v should not have write access after revocation", p)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package cheapquorum implements the Cheap Quorum sub-algorithm of the paper
+// (§4.2, Algorithms 4 and 5): the 2-deciding fast path of Fast & Robust.
+//
+// Cheap Quorum is not a complete consensus algorithm: in common-case
+// executions (synchrony, no failures) the leader decides after a single
+// replicated memory write (two delays) and followers decide after assembling
+// a unanimity proof; under asynchrony or failures processes panic, revoke the
+// leader's write permission, and abort with a value and proof that seed
+// Preferential Paxos so that the composition (package fastrobust) preserves
+// weak Byzantine agreement.
+//
+// The memory layout is one region per process (Value, Panic and Proof
+// registers, single-writer) plus a dedicated leader region holding the
+// leader's proposal. The leader region is the only region with dynamic
+// permissions: its legalChange policy allows any process to revoke write
+// access but never to grant new access, which is exactly the capability the
+// paper requires from RDMA.
+package cheapquorum
+
+import (
+	"fmt"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/types"
+)
+
+// Register names inside the per-process and leader regions.
+const (
+	regValue = types.RegisterID("value")
+	regPanic = types.RegisterID("panic")
+	regProof = types.RegisterID("proof")
+)
+
+// LeaderRegion is the region holding the leader's proposal (Region[ℓ]).
+const LeaderRegion = types.RegionID("cheap/leader")
+
+// ProcessRegion returns the identifier of Region[p].
+func ProcessRegion(p types.ProcID) types.RegionID {
+	return types.RegionID(fmt.Sprintf("cheap/%d", int(p)))
+}
+
+// Layout returns the per-memory region layout of Cheap Quorum for the given
+// process set and leader: an SWMR region per process plus the leader region.
+func Layout(procs []types.ProcID, leader types.ProcID) []memsim.RegionSpec {
+	specs := make([]memsim.RegionSpec, 0, len(procs)+1)
+	for _, p := range procs {
+		specs = append(specs, memsim.RegionSpec{
+			ID:        ProcessRegion(p),
+			Registers: []types.RegisterID{regValue, regPanic, regProof},
+			Perm:      memsim.SWMRPermission(p, procs),
+		})
+	}
+	specs = append(specs, memsim.RegionSpec{
+		ID:        LeaderRegion,
+		Registers: []types.RegisterID{regValue},
+		Perm:      memsim.SWMRPermission(leader, procs),
+	})
+	return specs
+}
+
+// LegalChange returns the permission-change policy of Cheap Quorum: on the
+// leader region only revocations are legal (any process may remove the
+// leader's write permission); every other region is static.
+func LegalChange() memsim.LegalChangeFunc {
+	return memsim.PolicyByRegion(map[types.RegionID]memsim.LegalChangeFunc{
+		LeaderRegion: memsim.RevokeOnly(),
+	}, memsim.StaticPermissions)
+}
+
+// RevokedLeaderPermission is the permission installed on the leader region by
+// a panicking process: everyone may read, nobody may write.
+func RevokedLeaderPermission(procs []types.ProcID) memsim.Permission {
+	return memsim.NewPermission(types.NewProcSet(procs...), nil, nil)
+}

@@ -1,0 +1,503 @@
+package cheapquorum
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/types"
+)
+
+// Config configures a Cheap Quorum participant.
+type Config struct {
+	// Self is this process.
+	Self types.ProcID
+	// Leader is the fixed fast-path leader ℓ (p1 in the paper).
+	Leader types.ProcID
+	// Procs is the full process set; n ≥ 2·FaultyProcesses+1.
+	Procs []types.ProcID
+	// FaultyProcesses is f_P.
+	FaultyProcesses int
+	// FaultyMemories is f_M; the pool must satisfy m ≥ 2·FaultyMemories+1.
+	FaultyMemories int
+	// Memories is the shared memory pool, laid out with Layout and the
+	// LegalChange policy of this package.
+	Memories []*memsim.Memory
+	// Ring holds every process's signing keys.
+	Ring *sigs.KeyRing
+	// Timeout is the common-case bound: a follower that cannot make progress
+	// within Timeout panics. Zero means 250ms.
+	Timeout time.Duration
+	// PollInterval is the pause between follower polling rounds. Zero means
+	// 1ms.
+	PollInterval time.Duration
+	// Clock is the causal delay clock; nil allocates a private one.
+	Clock *delayclock.Clock
+	// Recorder receives trace events; may be nil.
+	Recorder *trace.Recorder
+}
+
+// Validate checks the resilience bounds.
+func (c *Config) Validate() error {
+	if len(c.Procs) < 2*c.FaultyProcesses+1 {
+		return fmt.Errorf("%w: n=%d cannot tolerate f_P=%d (need n ≥ 2f_P+1)", types.ErrInvalidConfig, len(c.Procs), c.FaultyProcesses)
+	}
+	if len(c.Memories) < 2*c.FaultyMemories+1 {
+		return fmt.Errorf("%w: m=%d cannot tolerate f_M=%d (need m ≥ 2f_M+1)", types.ErrInvalidConfig, len(c.Memories), c.FaultyMemories)
+	}
+	if c.Ring == nil {
+		return fmt.Errorf("%w: a key ring is required", types.ErrInvalidConfig)
+	}
+	if c.Leader == types.NoProcess {
+		return fmt.Errorf("%w: a leader is required", types.ErrInvalidConfig)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 250 * time.Millisecond
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = &delayclock.Clock{}
+	}
+}
+
+// Outcome is the result of a Cheap Quorum run at one process: either a
+// decision or an abort carrying the value and proof that seed the backup
+// protocol (Definition 3 of the paper).
+type Outcome struct {
+	// Decided reports whether this process decided on the fast path.
+	Decided bool
+	// Value is the decided value (when Decided).
+	Value types.Value
+	// AbortValue is the value this process aborts with (when !Decided).
+	AbortValue types.Value
+	// AbortProof is the serialized unanimity proof attached to the abort
+	// value, if any.
+	AbortProof types.Value
+	// LeaderSigned reports whether the abort value carries the leader's
+	// signature (priority class M or better in Definition 3).
+	LeaderSigned bool
+	// HasUnanimityProof reports whether AbortProof is a correct unanimity
+	// proof (priority class T).
+	HasUnanimityProof bool
+	// DecisionDelays is the causal delay count between the start of the
+	// proposal and the decision (meaningful when Decided).
+	DecisionDelays int64
+}
+
+// followerValue is the content of Value[p] for a follower p: the leader's
+// signed proposal plus p's own endorsement signature over the same raw value.
+type followerValue struct {
+	Leader  sigs.Signed `json:"leader"`
+	Endorse sigs.Signed `json:"endorse"`
+}
+
+// unanimityProof is the content of Proof[p]: the collection of n endorsements
+// observed by p. The register itself stores this structure re-signed by p.
+type unanimityProof struct {
+	Endorsements []followerValue `json:"endorsements"`
+}
+
+// Node is one Cheap Quorum participant.
+type Node struct {
+	cfg  Config
+	rep  *replica
+	sign *sigs.Signer
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+	ctx    context.Context
+}
+
+// New creates a Cheap Quorum participant.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cheap quorum: %w", err)
+	}
+	cfg.applyDefaults()
+	rep, err := newReplica(cfg.Self, cfg.Memories, cfg.FaultyMemories, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("cheap quorum: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Node{
+		cfg:    cfg,
+		rep:    rep,
+		sign:   cfg.Ring.SignerFor(cfg.Self),
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
+}
+
+// Stop cancels any background helper work started by Propose.
+func (n *Node) Stop() {
+	n.cancel()
+	n.wg.Wait()
+}
+
+// Clock returns the node's delay clock.
+func (n *Node) Clock() *delayclock.Clock { return n.cfg.Clock }
+
+// isLeader reports whether this node is the fast-path leader.
+func (n *Node) isLeader() bool { return n.cfg.Self == n.cfg.Leader }
+
+// Propose runs Cheap Quorum with input v and returns the outcome (decision or
+// abort). It never blocks past the configured timeout plus the time needed
+// for the panic-mode memory operations.
+func (n *Node) Propose(ctx context.Context, v types.Value) (Outcome, error) {
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindPropose, v, n.cfg.Clock.Now(), "cheap quorum propose (leader=%v)", n.isLeader())
+	if n.isLeader() {
+		return n.leaderPropose(ctx, v)
+	}
+	return n.followerPropose(ctx, v)
+}
+
+// leaderPropose implements the leader branch of Algorithm 4: sign the value,
+// write it to the leader region, and decide if the write succeeds.
+func (n *Node) leaderPropose(ctx context.Context, v types.Value) (Outcome, error) {
+	start := n.cfg.Clock.Now()
+	signed, err := n.sign.Sign(v)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum leader: %w", err)
+	}
+	blob, err := json.Marshal(signed)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum leader: encode: %w", err)
+	}
+	completed, err := n.rep.writeAt(ctx, LeaderRegion, regValue, blob, start)
+	if err != nil {
+		// The write permission was revoked (or the quorum is unreachable):
+		// switch to panic mode.
+		n.cfg.Recorder.Record(n.cfg.Self, trace.KindPanic, v, n.cfg.Clock.Now(), "leader write failed: %v", err)
+		return n.panicMode(ctx, v)
+	}
+	// The decision delay is measured along the leader's own causal chain
+	// (the single replicated write), independent of concurrent background
+	// memory traffic that also merges into the shared clock.
+	delays := int64(completed - start)
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindDecide, v, n.cfg.Clock.Now(), "cheap quorum leader decision in %d delays", delays)
+
+	// The leader keeps helping followers decide: it endorses its own value
+	// and participates in the unanimity proof exchange in the background.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		helperCtx, cancel := context.WithTimeout(n.ctx, n.cfg.Timeout)
+		defer cancel()
+		_, _ = n.replicateAndProve(helperCtx, signed, false)
+	}()
+
+	return Outcome{Decided: true, Value: v.Clone(), DecisionDelays: delays}, nil
+}
+
+// followerPropose implements the follower branch of Algorithm 4.
+func (n *Node) followerPropose(ctx context.Context, input types.Value) (Outcome, error) {
+	start := n.cfg.Clock.Now()
+	deadline := time.NewTimer(n.cfg.Timeout)
+	defer deadline.Stop()
+
+	// Wait for the leader's proposal (or a panic, or the timeout).
+	var leaderSigned sigs.Signed
+	for {
+		raw, err := n.rep.read(ctx, LeaderRegion, regValue)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("cheap quorum follower: %w", err)
+		}
+		panicked, err := n.anyPanic(ctx)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if panicked {
+			return n.panicMode(ctx, input)
+		}
+		if !raw.Bottom() {
+			if err := json.Unmarshal(raw, &leaderSigned); err == nil && n.sign.Valid(n.cfg.Leader, leaderSigned) {
+				break
+			}
+			// A value that is present but not correctly signed by the leader
+			// is Byzantine behaviour: panic.
+			n.cfg.Recorder.Record(n.cfg.Self, trace.KindPanic, nil, n.cfg.Clock.Now(), "leader value invalid")
+			return n.panicMode(ctx, input)
+		}
+		select {
+		case <-deadline.C:
+			n.cfg.Recorder.Record(n.cfg.Self, trace.KindPanic, nil, n.cfg.Clock.Now(), "timeout waiting for leader value")
+			return n.panicMode(ctx, input)
+		case <-time.After(n.cfg.PollInterval):
+		case <-ctx.Done():
+			return Outcome{}, fmt.Errorf("cheap quorum follower: %w", ctx.Err())
+		}
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, n.cfg.Timeout)
+	defer cancel()
+	decided, err := n.replicateAndProve(waitCtx, leaderSigned, true)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if decided {
+		v := types.Value(leaderSigned.Payload)
+		delays := int64(n.cfg.Clock.Now() - start)
+		n.cfg.Recorder.Record(n.cfg.Self, trace.KindDecide, v, n.cfg.Clock.Now(), "cheap quorum follower decision in %d delays", delays)
+		return Outcome{Decided: true, Value: v.Clone(), DecisionDelays: delays}, nil
+	}
+	return n.panicMode(ctx, input)
+}
+
+// replicateAndProve endorses the leader's value, waits for unanimous
+// endorsements, publishes a unanimity proof and (when deciding is true) waits
+// for unanimous proofs. It returns whether the unanimous-proof condition was
+// reached before the context expired or a panic was observed.
+func (n *Node) replicateAndProve(ctx context.Context, leaderSigned sigs.Signed, deciding bool) (bool, error) {
+	endorse, err := n.sign.Sign(leaderSigned.Payload)
+	if err != nil {
+		return false, fmt.Errorf("cheap quorum endorse: %w", err)
+	}
+	fv := followerValue{Leader: leaderSigned, Endorse: endorse}
+	blob, err := json.Marshal(fv)
+	if err != nil {
+		return false, fmt.Errorf("cheap quorum endorse: encode: %w", err)
+	}
+	if err := n.rep.write(ctx, ProcessRegion(n.cfg.Self), regValue, blob); err != nil {
+		return false, fmt.Errorf("cheap quorum endorse: %w", err)
+	}
+
+	regions := make([]types.RegionID, 0, len(n.cfg.Procs))
+	for _, p := range n.cfg.Procs {
+		regions = append(regions, ProcessRegion(p))
+	}
+
+	proofWritten := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, nil // treated as timeout by the caller
+		}
+		// Gather endorsements.
+		vals, err := n.rep.readMany(ctx, regions, regValue)
+		if err != nil {
+			return false, nil
+		}
+		endorsements := make([]followerValue, 0, len(vals))
+		for i, raw := range vals {
+			p := n.cfg.Procs[i]
+			if fv, ok := n.decodeEndorsement(raw, p, leaderSigned.Payload); ok {
+				endorsements = append(endorsements, fv)
+			}
+		}
+		if len(endorsements) >= len(n.cfg.Procs) && !proofWritten {
+			proof := unanimityProof{Endorsements: endorsements}
+			proofPayload, err := json.Marshal(proof)
+			if err != nil {
+				return false, fmt.Errorf("cheap quorum proof: encode: %w", err)
+			}
+			signedProof, err := n.sign.Sign(proofPayload)
+			if err != nil {
+				return false, fmt.Errorf("cheap quorum proof: sign: %w", err)
+			}
+			proofBlob, err := json.Marshal(signedProof)
+			if err != nil {
+				return false, fmt.Errorf("cheap quorum proof: encode signed: %w", err)
+			}
+			if err := n.rep.write(ctx, ProcessRegion(n.cfg.Self), regProof, proofBlob); err != nil {
+				return false, nil
+			}
+			proofWritten = true
+			if !deciding {
+				// A helper (the already-decided leader) only needs to publish
+				// its endorsement and proof; it does not wait for the others.
+				return true, nil
+			}
+		}
+		if proofWritten {
+			proofs, err := n.rep.readMany(ctx, regions, regProof)
+			if err != nil {
+				return false, nil
+			}
+			validProofs := 0
+			for i, raw := range proofs {
+				if _, ok := n.verifyProofFrom(raw, n.cfg.Procs[i], leaderSigned.Payload); ok {
+					validProofs++
+				}
+			}
+			if validProofs >= len(n.cfg.Procs) {
+				return true, nil
+			}
+		}
+		// Check for panics.
+		panicked, err := n.anyPanic(ctx)
+		if err != nil || panicked {
+			return false, nil
+		}
+		select {
+		case <-time.After(n.cfg.PollInterval):
+		case <-ctx.Done():
+			return false, nil
+		}
+	}
+}
+
+// decodeEndorsement checks that raw contains process p's endorsement of the
+// leader-signed raw value.
+func (n *Node) decodeEndorsement(raw types.Value, p types.ProcID, rawValue []byte) (followerValue, bool) {
+	if raw.Bottom() {
+		return followerValue{}, false
+	}
+	var fv followerValue
+	if err := json.Unmarshal(raw, &fv); err != nil {
+		return followerValue{}, false
+	}
+	if !n.sign.Valid(n.cfg.Leader, fv.Leader) || !n.sign.Valid(p, fv.Endorse) {
+		return followerValue{}, false
+	}
+	if !types.Value(fv.Leader.Payload).Equal(rawValue) || !types.Value(fv.Endorse.Payload).Equal(rawValue) {
+		return followerValue{}, false
+	}
+	return fv, true
+}
+
+// verifyProofFrom checks that raw is a correct unanimity proof assembled by
+// process p for the given raw value.
+func (n *Node) verifyProofFrom(raw types.Value, p types.ProcID, rawValue []byte) (sigs.Signed, bool) {
+	if raw.Bottom() {
+		return sigs.Signed{}, false
+	}
+	var signedProof sigs.Signed
+	if err := json.Unmarshal(raw, &signedProof); err != nil {
+		return sigs.Signed{}, false
+	}
+	if !n.sign.Valid(p, signedProof) {
+		return sigs.Signed{}, false
+	}
+	if !verifyProofPayload(n.cfg.Ring, n.cfg.Procs, n.cfg.Leader, signedProof.Payload, rawValue) {
+		return sigs.Signed{}, false
+	}
+	return signedProof, true
+}
+
+// anyPanic reports whether any process has raised its panic flag.
+func (n *Node) anyPanic(ctx context.Context) (bool, error) {
+	regions := make([]types.RegionID, 0, len(n.cfg.Procs))
+	for _, p := range n.cfg.Procs {
+		regions = append(regions, ProcessRegion(p))
+	}
+	flags, err := n.rep.readMany(ctx, regions, regPanic)
+	if err != nil {
+		return false, fmt.Errorf("cheap quorum: read panic flags: %w", err)
+	}
+	for _, f := range flags {
+		if !f.Bottom() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// panicMode implements Algorithm 5: raise the panic flag, revoke the leader's
+// write permission, and abort with the best value available.
+func (n *Node) panicMode(ctx context.Context, input types.Value) (Outcome, error) {
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindPanic, input, n.cfg.Clock.Now(), "entering panic mode")
+	if err := n.rep.write(ctx, ProcessRegion(n.cfg.Self), regPanic, types.Value("panic")); err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum panic: %w", err)
+	}
+	if err := n.rep.changePermission(ctx, LeaderRegion, RevokedLeaderPermission(n.cfg.Procs)); err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum panic: revoke: %w", err)
+	}
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindPermissionChange, nil, n.cfg.Clock.Now(), "revoked leader write permission")
+
+	// Own replicated value and proof, if any.
+	ownValue, err := n.rep.read(ctx, ProcessRegion(n.cfg.Self), regValue)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum panic: %w", err)
+	}
+	ownProof, err := n.rep.read(ctx, ProcessRegion(n.cfg.Self), regProof)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum panic: %w", err)
+	}
+	if !ownValue.Bottom() {
+		var fv followerValue
+		if err := json.Unmarshal(ownValue, &fv); err == nil && n.sign.Valid(n.cfg.Leader, fv.Leader) {
+			out := Outcome{
+				AbortValue:   types.Value(fv.Leader.Payload).Clone(),
+				LeaderSigned: true,
+			}
+			if _, ok := n.verifyProofFrom(ownProof, n.cfg.Self, fv.Leader.Payload); ok {
+				out.AbortProof = ownProof.Clone()
+				out.HasUnanimityProof = true
+			}
+			n.recordAbort(out)
+			return out, nil
+		}
+	}
+
+	// The leader's value, if present and well signed.
+	leaderRaw, err := n.rep.read(ctx, LeaderRegion, regValue)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("cheap quorum panic: %w", err)
+	}
+	if !leaderRaw.Bottom() {
+		var signed sigs.Signed
+		if err := json.Unmarshal(leaderRaw, &signed); err == nil && n.sign.Valid(n.cfg.Leader, signed) {
+			out := Outcome{AbortValue: types.Value(signed.Payload).Clone(), LeaderSigned: true}
+			n.recordAbort(out)
+			return out, nil
+		}
+	}
+
+	// Fall back to the process's own input.
+	out := Outcome{AbortValue: input.Clone()}
+	n.recordAbort(out)
+	return out, nil
+}
+
+func (n *Node) recordAbort(out Outcome) {
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindAbort, out.AbortValue, n.cfg.Clock.Now(),
+		"abort (leaderSigned=%v unanimity=%v)", out.LeaderSigned, out.HasUnanimityProof)
+}
+
+// verifyProofPayload checks that payload decodes to endorsements of rawValue
+// by every process in procs.
+func verifyProofPayload(ring *sigs.KeyRing, procs []types.ProcID, leader types.ProcID, payload []byte, rawValue []byte) bool {
+	var proof unanimityProof
+	if err := json.Unmarshal(payload, &proof); err != nil {
+		return false
+	}
+	endorsers := types.NewProcSet()
+	for _, fv := range proof.Endorsements {
+		if !ring.Valid(leader, fv.Leader) || !ring.Valid(fv.Endorse.Signer, fv.Endorse) {
+			return false
+		}
+		if !types.Value(fv.Leader.Payload).Equal(rawValue) || !types.Value(fv.Endorse.Payload).Equal(rawValue) {
+			return false
+		}
+		endorsers = endorsers.Add(fv.Endorse.Signer)
+	}
+	return endorsers.Len() >= len(procs)
+}
+
+// VerifyUnanimityProof checks a serialized unanimity proof (as carried in an
+// Outcome's AbortProof) against the given raw value. Fast & Robust uses it to
+// assign Definition-3 priorities to abort values.
+func VerifyUnanimityProof(ring *sigs.KeyRing, procs []types.ProcID, leader types.ProcID, proofBlob types.Value, rawValue types.Value) bool {
+	if proofBlob.Bottom() {
+		return false
+	}
+	var signedProof sigs.Signed
+	if err := json.Unmarshal(proofBlob, &signedProof); err != nil {
+		return false
+	}
+	if !ring.Valid(signedProof.Signer, signedProof) {
+		return false
+	}
+	return verifyProofPayload(ring, procs, leader, signedProof.Payload, rawValue)
+}

@@ -1,0 +1,212 @@
+package cheapquorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/types"
+)
+
+// replica performs quorum-replicated operations (write, read, permission
+// change) over the memory pool on behalf of one process, implementing regular
+// registers that survive f_M memory crashes exactly as in §4.1 of the paper.
+type replica struct {
+	self    types.ProcID
+	mems    []*memsim.Memory
+	faultyM int
+	clock   *delayclock.Clock
+}
+
+func newReplica(self types.ProcID, mems []*memsim.Memory, faultyM int, clock *delayclock.Clock) (*replica, error) {
+	if len(mems) < 2*faultyM+1 {
+		return nil, fmt.Errorf("%w: m=%d memories cannot tolerate f_M=%d crashes (need m ≥ 2f_M+1)",
+			types.ErrInvalidConfig, len(mems), faultyM)
+	}
+	if clock == nil {
+		clock = &delayclock.Clock{}
+	}
+	return &replica{self: self, mems: mems, faultyM: faultyM, clock: clock}, nil
+}
+
+func (r *replica) quorum() int { return len(r.mems) - r.faultyM }
+
+type opResult struct {
+	value types.Value
+	stamp delayclock.Stamp
+	err   error
+}
+
+// write replicates a register write, waiting for a quorum of acknowledgements.
+// A nak (permission denied) fails fast: it is a definitive rejection.
+func (r *replica) write(ctx context.Context, region types.RegionID, reg types.RegisterID, v types.Value) error {
+	_, err := r.writeAt(ctx, region, reg, v, r.clock.Now())
+	return err
+}
+
+// writeAt is write with an explicit invocation stamp; it returns the
+// completion stamp of the operation along the caller's own causal chain
+// (invoked + 2 delays), independent of concurrent background activity on the
+// shared clock. The fast-path delay measurements use it so that the paper's
+// 2-deciding claim is reproduced exactly.
+func (r *replica) writeAt(ctx context.Context, region types.RegionID, reg types.RegisterID, v types.Value, invoked delayclock.Stamp) (delayclock.Stamp, error) {
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan opResult, len(r.mems))
+	for _, mem := range r.mems {
+		go func(mem *memsim.Memory) {
+			stamp, err := mem.Write(opCtx, r.self, region, reg, v, invoked)
+			results <- opResult{stamp: stamp, err: err}
+		}(mem)
+	}
+	acks := 0
+	completion := invoked
+	var firstErr error
+	for i := 0; i < len(r.mems); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				if errors.Is(res.err, types.ErrNak) {
+					return completion, fmt.Errorf("replicated write %s/%s: %w", region, reg, res.err)
+				}
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			r.clock.Merge(res.stamp)
+			completion = delayclock.Max(completion, res.stamp)
+			if acks++; acks >= r.quorum() {
+				return completion, nil
+			}
+		case <-ctx.Done():
+			return completion, fmt.Errorf("replicated write %s/%s: %w", region, reg, ctx.Err())
+		}
+	}
+	if firstErr == nil {
+		firstErr = types.ErrMemoryCrashed
+	}
+	return completion, fmt.Errorf("replicated write %s/%s: quorum not reached: %w", region, reg, firstErr)
+}
+
+// read returns the unique non-⊥ value seen across a quorum of memories, or ⊥
+// when the responses disagree.
+func (r *replica) read(ctx context.Context, region types.RegionID, reg types.RegisterID) (types.Value, error) {
+	invoked := r.clock.Now()
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan opResult, len(r.mems))
+	for _, mem := range r.mems {
+		go func(mem *memsim.Memory) {
+			v, stamp, err := mem.Read(opCtx, r.self, region, reg, invoked)
+			results <- opResult{value: v, stamp: stamp, err: err}
+		}(mem)
+	}
+	responses := 0
+	var distinct types.Value
+	conflict := false
+	var firstErr error
+	for i := 0; i < len(r.mems); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				if errors.Is(res.err, types.ErrNak) {
+					return nil, fmt.Errorf("replicated read %s/%s: %w", region, reg, res.err)
+				}
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			r.clock.Merge(res.stamp)
+			responses++
+			if !res.value.Bottom() {
+				switch {
+				case distinct.Bottom():
+					distinct = res.value
+				case !distinct.Equal(res.value):
+					conflict = true
+				}
+			}
+			if responses >= r.quorum() {
+				if conflict {
+					return nil, nil
+				}
+				return distinct, nil
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("replicated read %s/%s: %w", region, reg, ctx.Err())
+		}
+	}
+	if firstErr == nil {
+		firstErr = types.ErrMemoryCrashed
+	}
+	return nil, fmt.Errorf("replicated read %s/%s: quorum not reached: %w", region, reg, firstErr)
+}
+
+// readMany reads the same register from several regions in parallel (one
+// memory round trip of delay) and returns the values indexed like the input.
+func (r *replica) readMany(ctx context.Context, regions []types.RegionID, reg types.RegisterID) ([]types.Value, error) {
+	out := make([]types.Value, len(regions))
+	errCh := make(chan error, len(regions))
+	for i, region := range regions {
+		go func(i int, region types.RegionID) {
+			v, err := r.read(ctx, region, reg)
+			out[i] = v
+			errCh <- err
+		}(i, region)
+	}
+	var firstErr error
+	for range regions {
+		if err := <-errCh; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// changePermission replicates a permission change, waiting for a quorum.
+// Rejections by the legalChange policy fail fast.
+func (r *replica) changePermission(ctx context.Context, region types.RegionID, perm memsim.Permission) error {
+	invoked := r.clock.Now()
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan opResult, len(r.mems))
+	for _, mem := range r.mems {
+		go func(mem *memsim.Memory) {
+			stamp, err := mem.ChangePermission(opCtx, r.self, region, perm, invoked)
+			results <- opResult{stamp: stamp, err: err}
+		}(mem)
+	}
+	acks := 0
+	var firstErr error
+	for i := 0; i < len(r.mems); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				if errors.Is(res.err, types.ErrIllegalPermissionChange) {
+					return fmt.Errorf("replicated changePermission %s: %w", region, res.err)
+				}
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				continue
+			}
+			r.clock.Merge(res.stamp)
+			if acks++; acks >= r.quorum() {
+				return nil
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("replicated changePermission %s: %w", region, ctx.Err())
+		}
+	}
+	if firstErr == nil {
+		firstErr = types.ErrMemoryCrashed
+	}
+	return fmt.Errorf("replicated changePermission %s: quorum not reached: %w", region, firstErr)
+}

@@ -1,0 +1,456 @@
+// Package core wires complete clusters for every agreement protocol in the
+// repository behind a single interface.
+//
+// A Cluster owns the simulated substrates (memory pool, network, key ring,
+// leader oracle) and one protocol node per process. Callers pick a Protocol,
+// describe the topology and failure bounds in Options, and then drive
+// proposals through the uniform Proposer interface. The experiment harness,
+// the benchmarks, the command-line tools and the examples are all built on
+// this package.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdmaagreement/internal/aligned"
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/diskpaxos"
+	"rdmaagreement/internal/fastpaxos"
+	"rdmaagreement/internal/fastrobust"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/netsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/paxos"
+	"rdmaagreement/internal/pmpaxos"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/types"
+)
+
+// Protocol identifies an agreement protocol implemented in this repository.
+type Protocol string
+
+// The available protocols.
+const (
+	// ProtocolFastRobust is the paper's main Byzantine algorithm: Cheap
+	// Quorum + Preferential Paxos (Theorem 4.9; 2-deciding, n ≥ 2f_P+1).
+	ProtocolFastRobust Protocol = "fast-robust"
+	// ProtocolProtectedMemoryPaxos is the paper's crash algorithm
+	// (Theorem 5.1; 2-deciding, n ≥ f_P+1, m ≥ 2f_M+1).
+	ProtocolProtectedMemoryPaxos Protocol = "protected-memory-paxos"
+	// ProtocolAlignedPaxos tolerates a minority of the combined
+	// process+memory set (§5.2).
+	ProtocolAlignedPaxos Protocol = "aligned-paxos"
+	// ProtocolDiskPaxos is the shared-memory-only baseline (≥4 delays).
+	ProtocolDiskPaxos Protocol = "disk-paxos"
+	// ProtocolPaxos is the classic message-passing baseline (4 delays,
+	// n ≥ 2f_P+1).
+	ProtocolPaxos Protocol = "paxos"
+	// ProtocolFastPaxos is the message-passing fast baseline (2 delays in
+	// the common case, process quorums only).
+	ProtocolFastPaxos Protocol = "fast-paxos"
+)
+
+// Protocols lists every protocol in a stable order.
+func Protocols() []Protocol {
+	return []Protocol{
+		ProtocolFastRobust,
+		ProtocolProtectedMemoryPaxos,
+		ProtocolAlignedPaxos,
+		ProtocolDiskPaxos,
+		ProtocolPaxos,
+		ProtocolFastPaxos,
+	}
+}
+
+// Options describe the topology and timing of a cluster.
+type Options struct {
+	// Processes is n. Zero means 3.
+	Processes int
+	// Memories is m. Zero means 3 (ignored by pure message-passing
+	// protocols).
+	Memories int
+	// FaultyProcesses is f_P, the failure bound the protocol must be
+	// configured for. Zero means the maximum the protocol supports for n.
+	FaultyProcesses int
+	// FaultyMemories is f_M. Zero means the maximum for m, that is ⌊(m−1)/2⌋.
+	FaultyMemories int
+	// Leader is the initial/fast-path leader. Zero means process 1.
+	Leader types.ProcID
+	// NetworkDelay is the one-way message delay of the simulated network.
+	NetworkDelay time.Duration
+	// MemoryLatency is the per-operation latency of the simulated memories.
+	MemoryLatency time.Duration
+	// FastTimeout is the fast-path timeout (Cheap Quorum, Fast Paxos).
+	FastTimeout time.Duration
+	// RoundTimeout is the round timeout of retry-based protocols.
+	RoundTimeout time.Duration
+	// Recorder receives trace events from every node; may be nil.
+	Recorder *trace.Recorder
+}
+
+func (o *Options) applyDefaults(protocol Protocol) {
+	if o.Processes <= 0 {
+		o.Processes = 3
+	}
+	if o.Memories <= 0 {
+		o.Memories = 3
+	}
+	if o.Leader == types.NoProcess {
+		o.Leader = 1
+	}
+	if o.FaultyMemories <= 0 {
+		o.FaultyMemories = (o.Memories - 1) / 2
+	}
+	if o.FaultyProcesses <= 0 {
+		switch protocol {
+		case ProtocolProtectedMemoryPaxos, ProtocolDiskPaxos, ProtocolAlignedPaxos:
+			// These protocols tolerate n-1 process crashes.
+			o.FaultyProcesses = o.Processes - 1
+		default:
+			o.FaultyProcesses = (o.Processes - 1) / 2
+		}
+	}
+}
+
+// Result is the uniform outcome of one proposal.
+type Result struct {
+	// Value is the decided value.
+	Value types.Value
+	// DecisionDelays is the causal delay count of the decision along the
+	// proposer's operation chain, when the protocol reports it (zero
+	// otherwise).
+	DecisionDelays int64
+	// FastPath reports whether an optimistic fast path produced the
+	// decision (Fast & Robust, Fast Paxos).
+	FastPath bool
+	// Elapsed is the wall-clock time of the proposal.
+	Elapsed time.Duration
+}
+
+// Proposer is the uniform interface over every protocol node.
+type Proposer interface {
+	// Propose proposes a value and returns the decision.
+	Propose(ctx context.Context, v types.Value) (Result, error)
+	// Clock returns the node's causal delay clock.
+	Clock() *delayclock.Clock
+}
+
+// Cluster is a fully wired simulation of one protocol deployment.
+type Cluster struct {
+	Protocol Protocol
+	Opts     Options
+	Procs    []types.ProcID
+	Pool     *memsim.Pool
+	Network  *netsim.Network
+	Ring     *sigs.KeyRing
+	Oracle   *omega.Static
+
+	proposers map[types.ProcID]Proposer
+	routers   []*netsim.Router
+	stoppers  []func()
+}
+
+// NewCluster builds a cluster running the given protocol.
+func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
+	opts.applyDefaults(protocol)
+	procs := make([]types.ProcID, 0, opts.Processes)
+	for i := 1; i <= opts.Processes; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	c := &Cluster{
+		Protocol:  protocol,
+		Opts:      opts,
+		Procs:     procs,
+		Network:   netsim.New(netsim.Options{Delay: opts.NetworkDelay}),
+		Ring:      sigs.NewKeyRing(procs),
+		Oracle:    omega.NewStatic(opts.Leader),
+		proposers: make(map[types.ProcID]Proposer, len(procs)),
+	}
+
+	memOpts := memsim.Options{OperationLatency: opts.MemoryLatency}
+	var build func(p types.ProcID) (Proposer, func(), error)
+	switch protocol {
+	case ProtocolFastRobust:
+		memOpts.LegalChange = fastrobust.LegalChange()
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec {
+			return fastrobust.Layout(procs, opts.Leader)
+		}, memOpts)
+		build = c.buildFastRobust
+	case ProtocolProtectedMemoryPaxos:
+		memOpts.LegalChange = pmpaxos.LegalChange(procs)
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec {
+			return pmpaxos.Layout(procs, opts.Leader)
+		}, memOpts)
+		build = c.buildProtectedMemoryPaxos
+	case ProtocolAlignedPaxos:
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec {
+			return aligned.Layout(procs)
+		}, memOpts)
+		build = c.buildAlignedPaxos
+	case ProtocolDiskPaxos:
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec {
+			return diskpaxos.Layout(procs)
+		}, memOpts)
+		build = c.buildDiskPaxos
+	case ProtocolPaxos:
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec { return nil }, memOpts)
+		build = c.buildPaxos
+	case ProtocolFastPaxos:
+		c.Pool = memsim.NewPool(opts.Memories, func(types.MemID) []memsim.RegionSpec { return nil }, memOpts)
+		build = c.buildFastPaxos
+	default:
+		c.Close()
+		return nil, fmt.Errorf("%w: unknown protocol %q", types.ErrInvalidConfig, protocol)
+	}
+
+	for _, p := range procs {
+		proposer, stop, err := build(p)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster %s: %w", protocol, err)
+		}
+		c.proposers[p] = proposer
+		if stop != nil {
+			c.stoppers = append(c.stoppers, stop)
+		}
+	}
+	return c, nil
+}
+
+// Close stops every node and the simulated network.
+func (c *Cluster) Close() {
+	for i := len(c.stoppers) - 1; i >= 0; i-- {
+		c.stoppers[i]()
+	}
+	c.stoppers = nil
+	for _, r := range c.routers {
+		r.Close()
+	}
+	c.routers = nil
+	if c.Network != nil {
+		c.Network.Close()
+	}
+}
+
+// Proposer returns the node of process p.
+func (c *Cluster) Proposer(p types.ProcID) Proposer { return c.proposers[p] }
+
+// Leader returns the configured initial/fast-path leader.
+func (c *Cluster) Leader() types.ProcID { return c.Opts.Leader }
+
+// SetLeader changes the Ω oracle's output (simulating a leader change).
+func (c *Cluster) SetLeader(p types.ProcID) { c.Oracle.SetLeader(p) }
+
+// CrashMemories crashes count memories (in identifier order) and returns
+// their identifiers.
+func (c *Cluster) CrashMemories(count int) []types.MemID { return c.Pool.CrashQuorumSafe(count) }
+
+// CrashProcess crashes a process on the network (its messages stop flowing).
+// Memory-based protocols treat a crashed process as one that simply stops
+// taking steps.
+func (c *Cluster) CrashProcess(p types.ProcID) { c.Network.CrashProcess(p) }
+
+// router creates a router for process p and tracks it for Close.
+func (c *Cluster) router(p types.ProcID) *netsim.Router {
+	r := netsim.NewRouter(c.Network.Register(p))
+	c.routers = append(c.routers, r)
+	return r
+}
+
+// --- protocol adapters -----------------------------------------------------
+
+type fastRobustProposer struct{ node *fastrobust.Node }
+
+func (a *fastRobustProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	out, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: out.Value, DecisionDelays: out.DecisionDelays, FastPath: out.FastPath, Elapsed: time.Since(start)}, nil
+}
+
+func (a *fastRobustProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildFastRobust(p types.ProcID) (Proposer, func(), error) {
+	node, err := fastrobust.New(fastrobust.Config{
+		Self:               p,
+		Leader:             c.Opts.Leader,
+		Procs:              c.Procs,
+		FaultyProcesses:    c.Opts.FaultyProcesses,
+		FaultyMemories:     c.Opts.FaultyMemories,
+		Memories:           c.Pool.Memories(),
+		Ring:               c.Ring,
+		Oracle:             c.Oracle,
+		FastTimeout:        c.Opts.FastTimeout,
+		BackupRoundTimeout: c.Opts.RoundTimeout,
+		Recorder:           c.Opts.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	node.Start()
+	return &fastRobustProposer{node: node}, node.Stop, nil
+}
+
+type pmPaxosProposer struct{ node *pmpaxos.Node }
+
+func (a *pmPaxosProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	out, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: out.Value, DecisionDelays: out.DecisionDelays, Elapsed: time.Since(start)}, nil
+}
+
+func (a *pmPaxosProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildProtectedMemoryPaxos(p types.ProcID) (Proposer, func(), error) {
+	router := c.router(p)
+	node, err := pmpaxos.New(pmpaxos.Config{
+		Self:           p,
+		Procs:          c.Procs,
+		InitialLeader:  c.Opts.Leader,
+		FaultyMemories: c.Opts.FaultyMemories,
+		Memories:       c.Pool.Memories(),
+		Oracle:         c.Oracle,
+		Endpoint:       c.Network.Register(p),
+		DecideSub:      router.Subscribe(pmpaxos.DecideKind, 0),
+		Recorder:       c.Opts.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	node.Start()
+	return &pmPaxosProposer{node: node}, node.Stop, nil
+}
+
+type alignedProposer struct{ node *aligned.Node }
+
+func (a *alignedProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	out, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: out.Value, Elapsed: time.Since(start)}, nil
+}
+
+func (a *alignedProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildAlignedPaxos(p types.ProcID) (Proposer, func(), error) {
+	router := c.router(p)
+	node, err := aligned.New(aligned.Config{
+		Self:         p,
+		Procs:        c.Procs,
+		Memories:     c.Pool.Memories(),
+		Endpoint:     c.Network.Register(p),
+		Sub:          router.Subscribe("aligned/", 0),
+		Oracle:       c.Oracle,
+		RoundTimeout: c.Opts.RoundTimeout,
+		Recorder:     c.Opts.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	node.Start()
+	return &alignedProposer{node: node}, node.Stop, nil
+}
+
+type diskPaxosProposer struct{ node *diskpaxos.Node }
+
+func (a *diskPaxosProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	out, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: out.Value, DecisionDelays: out.DecisionDelays, Elapsed: time.Since(start)}, nil
+}
+
+func (a *diskPaxosProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildDiskPaxos(p types.ProcID) (Proposer, func(), error) {
+	node, err := diskpaxos.New(diskpaxos.Config{
+		Self:           p,
+		Procs:          c.Procs,
+		InitialLeader:  c.Opts.Leader,
+		FaultyMemories: c.Opts.FaultyMemories,
+		Memories:       c.Pool.Memories(),
+		Oracle:         c.Oracle,
+		Recorder:       c.Opts.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &diskPaxosProposer{node: node}, nil, nil
+}
+
+type paxosProposer struct{ node *paxos.Node }
+
+func (a *paxosProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	startClock := a.node.Clock().Now()
+	value, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Value:          value,
+		DecisionDelays: int64(a.node.Clock().Now() - startClock),
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+func (a *paxosProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildPaxos(p types.ProcID) (Proposer, func(), error) {
+	router := c.router(p)
+	tr := paxos.NewNetTransport(c.Network.Register(p), router.Subscribe("paxos/", 0), "paxos/msg")
+	node := paxos.NewNode(paxos.Config{
+		Self:         p,
+		Procs:        c.Procs,
+		Oracle:       c.Oracle,
+		RoundTimeout: c.Opts.RoundTimeout,
+		Recorder:     c.Opts.Recorder,
+	}, tr)
+	node.Start()
+	return &paxosProposer{node: node}, node.Stop, nil
+}
+
+type fastPaxosProposer struct{ node *fastpaxos.Node }
+
+func (a *fastPaxosProposer) Propose(ctx context.Context, v types.Value) (Result, error) {
+	start := time.Now()
+	out, err := a.node.Propose(ctx, v)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: out.Value, DecisionDelays: out.DecisionDelays, FastPath: out.FastPath, Elapsed: time.Since(start)}, nil
+}
+
+func (a *fastPaxosProposer) Clock() *delayclock.Clock { return a.node.Clock() }
+
+func (c *Cluster) buildFastPaxos(p types.ProcID) (Proposer, func(), error) {
+	router := c.router(p)
+	node, err := fastpaxos.New(fastpaxos.Config{
+		Self:            p,
+		Procs:           c.Procs,
+		FaultyProcesses: c.Opts.FaultyProcesses,
+		Endpoint:        c.Network.Register(p),
+		FastSub:         router.Subscribe("fastpaxos/", 0),
+		ClassicSub:      router.Subscribe(fastpaxos.ClassicKind, 0),
+		Oracle:          c.Oracle,
+		FastTimeout:     c.Opts.FastTimeout,
+		Recorder:        c.Opts.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	node.Start()
+	return &fastPaxosProposer{node: node}, node.Stop, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/types"
+)
+
+func runLeaderProposal(t *testing.T, protocol Protocol, opts Options) Result {
+	t.Helper()
+	cluster, err := NewCluster(protocol, opts)
+	if err != nil {
+		t.Fatalf("NewCluster(%s): %v", protocol, err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := cluster.Proposer(cluster.Leader()).Propose(ctx, types.Value("integration"))
+	if err != nil {
+		t.Fatalf("Propose(%s): %v", protocol, err)
+	}
+	return res
+}
+
+func TestEveryProtocolDecidesInCommonCase(t *testing.T) {
+	for _, protocol := range Protocols() {
+		protocol := protocol
+		t.Run(string(protocol), func(t *testing.T) {
+			res := runLeaderProposal(t, protocol, Options{Processes: 3, Memories: 3})
+			if !res.Value.Equal(types.Value("integration")) {
+				t.Fatalf("%s decided %v", protocol, res.Value)
+			}
+		})
+	}
+}
+
+func TestCommonCaseDelaysMatchThePaper(t *testing.T) {
+	want := map[Protocol]int64{
+		ProtocolFastRobust:           2, // Theorem 4.9
+		ProtocolProtectedMemoryPaxos: 2, // Theorem 5.1
+		ProtocolDiskPaxos:            4, // §1 and Theorem 6.1
+		ProtocolPaxos:                4, // two message round trips
+		ProtocolFastPaxos:            2, // fast round
+	}
+	for protocol, delays := range want {
+		protocol, delays := protocol, delays
+		t.Run(string(protocol), func(t *testing.T) {
+			res := runLeaderProposal(t, protocol, Options{Processes: 3, Memories: 3})
+			if res.DecisionDelays != delays {
+				t.Fatalf("%s decided in %d delays, paper says %d", protocol, res.DecisionDelays, delays)
+			}
+		})
+	}
+}
+
+func TestUnknownProtocolRejected(t *testing.T) {
+	if _, err := NewCluster(Protocol("nonsense"), Options{}); err == nil {
+		t.Fatalf("unknown protocol accepted")
+	}
+}
+
+func TestCrashHelpers(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 2, Memories: 3})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cluster.Close)
+	crashed := cluster.CrashMemories(1)
+	if len(crashed) != 1 {
+		t.Fatalf("CrashMemories returned %v", crashed)
+	}
+	cluster.CrashProcess(2)
+	if !cluster.Network.ProcessCrashed(2) {
+		t.Fatalf("CrashProcess did not mark the process crashed")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := cluster.Proposer(1).Propose(ctx, types.Value("despite-crashes"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !res.Value.Equal(types.Value("despite-crashes")) {
+		t.Fatalf("decided %v", res.Value)
+	}
+}
+
+func TestLeaderChange(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 3, Memories: 3})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cluster.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	first, err := cluster.Proposer(1).Propose(ctx, types.Value("v1"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	cluster.SetLeader(2)
+	second, err := cluster.Proposer(2).Propose(ctx, types.Value("v2"))
+	if err != nil {
+		t.Fatalf("Propose after leader change: %v", err)
+	}
+	if !second.Value.Equal(first.Value) {
+		t.Fatalf("agreement violated across leader change: %v vs %v", first.Value, second.Value)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	opts := Options{}
+	opts.applyDefaults(ProtocolFastRobust)
+	if opts.Processes != 3 || opts.Memories != 3 || opts.Leader != 1 {
+		t.Fatalf("unexpected defaults: %+v", opts)
+	}
+	if opts.FaultyProcesses != 1 || opts.FaultyMemories != 1 {
+		t.Fatalf("unexpected failure bounds: %+v", opts)
+	}
+	crash := Options{Processes: 4, Memories: 5}
+	crash.applyDefaults(ProtocolProtectedMemoryPaxos)
+	if crash.FaultyProcesses != 3 || crash.FaultyMemories != 2 {
+		t.Fatalf("crash-protocol defaults wrong: %+v", crash)
+	}
+}

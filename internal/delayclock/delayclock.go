@@ -1,0 +1,105 @@
+// Package delayclock implements the causal delay accounting used to reproduce
+// the paper's complexity metric.
+//
+// The paper measures the performance of agreement protocols in "delays":
+// computation is instantaneous, each message takes one delay, and each memory
+// operation takes two delays (a hardware round trip). A protocol is
+// k-deciding if, in common-case executions, some process decides within k
+// delays of the start of the protocol.
+//
+// The simulator reproduces this metric exactly by attaching a Stamp to every
+// message and every memory operation. A process owns a Clock; when it sends a
+// message the message carries the current reading; when the message is
+// delivered the receiver advances its clock to max(local, stamp+1). A memory
+// operation invoked at reading t completes with stamp t+2, which the caller
+// merges. The number of delays consumed by a span of execution is the
+// difference between the clock readings at its end and start, along the causal
+// chain that produced the result.
+package delayclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stamp is a causal delay reading. Stamps are merged with Max semantics.
+type Stamp int64
+
+// MessageDelay is the cost, in delays, of delivering one message.
+const MessageDelay Stamp = 1
+
+// MemoryOpDelay is the cost, in delays, of one memory read, write or
+// permission change (a hardware round trip).
+const MemoryOpDelay Stamp = 2
+
+// AfterMessage returns the stamp observed by the receiver of a message that
+// was sent at reading s.
+func (s Stamp) AfterMessage() Stamp { return s + MessageDelay }
+
+// AfterMemoryOp returns the stamp observed by the invoker of a memory
+// operation issued at reading s once the response arrives.
+func (s Stamp) AfterMemoryOp() Stamp { return s + MemoryOpDelay }
+
+// Max returns the larger of two stamps.
+func Max(a, b Stamp) Stamp {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String implements fmt.Stringer.
+func (s Stamp) String() string { return fmt.Sprintf("%dΔ", int64(s)) }
+
+// Clock is a process-local causal delay clock. The zero value is ready to use
+// and reads zero. Clock is safe for concurrent use: protocols frequently
+// merge stamps from goroutines that issue parallel memory operations.
+type Clock struct {
+	mu  sync.Mutex
+	now Stamp
+}
+
+// Now returns the current reading.
+func (c *Clock) Now() Stamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Merge advances the clock to at least s and returns the new reading.
+func (c *Clock) Merge(s Stamp) Stamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s > c.now {
+		c.now = s
+	}
+	return c.now
+}
+
+// MergeAfterMessage merges the stamp carried by a received message, accounting
+// for the one-delay cost of the message itself, and returns the new reading.
+func (c *Clock) MergeAfterMessage(sent Stamp) Stamp { return c.Merge(sent.AfterMessage()) }
+
+// MergeAfterMemoryOp merges the completion of a memory operation that was
+// invoked at reading invoked, accounting for the two-delay round trip, and
+// returns the new reading.
+func (c *Clock) MergeAfterMemoryOp(invoked Stamp) Stamp { return c.Merge(invoked.AfterMemoryOp()) }
+
+// Reset sets the clock back to zero. Used by the harness between runs.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}
+
+// Span measures the delays consumed between two readings of the same clock.
+type Span struct {
+	Start Stamp
+	End   Stamp
+}
+
+// Delays returns the number of delays covered by the span.
+func (s Span) Delays() int64 { return int64(s.End - s.Start) }
+
+// String implements fmt.Stringer.
+func (s Span) String() string { return fmt.Sprintf("[%s..%s]=%dΔ", s.Start, s.End, s.Delays()) }

@@ -1,0 +1,155 @@
+package delayclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStampAfterMessage(t *testing.T) {
+	if Stamp(0).AfterMessage() != 1 {
+		t.Fatalf("message should cost 1 delay")
+	}
+	if Stamp(5).AfterMessage() != 6 {
+		t.Fatalf("message cost should add to current stamp")
+	}
+}
+
+func TestStampAfterMemoryOp(t *testing.T) {
+	if Stamp(0).AfterMemoryOp() != 2 {
+		t.Fatalf("memory op should cost 2 delays")
+	}
+	if Stamp(3).AfterMemoryOp() != 5 {
+		t.Fatalf("memory op cost should add to current stamp")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Max(3, 3) != 3 {
+		t.Fatalf("Max broken")
+	}
+}
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock should read 0")
+	}
+}
+
+func TestClockMergeMonotonic(t *testing.T) {
+	var c Clock
+	c.Merge(5)
+	if c.Now() != 5 {
+		t.Fatalf("merge should advance clock")
+	}
+	c.Merge(3)
+	if c.Now() != 5 {
+		t.Fatalf("merge must never move the clock backwards")
+	}
+}
+
+func TestClockMergeAfterMessage(t *testing.T) {
+	var c Clock
+	got := c.MergeAfterMessage(4)
+	if got != 5 || c.Now() != 5 {
+		t.Fatalf("MergeAfterMessage(4) = %v, clock %v", got, c.Now())
+	}
+}
+
+func TestClockMergeAfterMemoryOp(t *testing.T) {
+	var c Clock
+	got := c.MergeAfterMemoryOp(4)
+	if got != 6 || c.Now() != 6 {
+		t.Fatalf("MergeAfterMemoryOp(4) = %v, clock %v", got, c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Merge(10)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("reset should zero the clock")
+	}
+}
+
+func TestClockConcurrentMerge(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 1; i <= 100; i++ {
+		wg.Add(1)
+		go func(s Stamp) {
+			defer wg.Done()
+			c.Merge(s)
+		}(Stamp(i))
+	}
+	wg.Wait()
+	if c.Now() != 100 {
+		t.Fatalf("concurrent merges lost the maximum: %v", c.Now())
+	}
+}
+
+func TestSpanDelays(t *testing.T) {
+	s := Span{Start: 3, End: 7}
+	if s.Delays() != 4 {
+		t.Fatalf("span delays = %d", s.Delays())
+	}
+}
+
+// Property: merging is idempotent and commutative with respect to the final
+// clock reading.
+func TestMergeOrderIndependenceProperty(t *testing.T) {
+	f := func(stamps []int16) bool {
+		var a, b Clock
+		for _, s := range stamps {
+			a.Merge(Stamp(abs16(s)))
+		}
+		for i := len(stamps) - 1; i >= 0; i-- {
+			b.Merge(Stamp(abs16(stamps[i])))
+		}
+		return a.Now() == b.Now()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never exceeds the largest merged stamp and never reads
+// less than any merged stamp.
+func TestMergeBoundsProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		var c Clock
+		var max Stamp
+		for _, s := range stamps {
+			c.Merge(Stamp(s))
+			if Stamp(s) > max {
+				max = Stamp(s)
+			}
+		}
+		return c.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs16(v int16) int16 {
+	if v < 0 {
+		if v == -32768 {
+			return 32767
+		}
+		return -v
+	}
+	return v
+}
+
+func TestStampString(t *testing.T) {
+	if Stamp(4).String() != "4Δ" {
+		t.Fatalf("stamp stringer = %q", Stamp(4).String())
+	}
+	span := Span{Start: 1, End: 3}
+	if span.String() == "" {
+		t.Fatalf("span stringer empty")
+	}
+}

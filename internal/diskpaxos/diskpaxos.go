@@ -1,0 +1,370 @@
+// Package diskpaxos implements Disk Paxos (Gafni & Lamport), the
+// shared-memory-only baseline the paper compares against in §5.1 and §6.
+//
+// Disk Paxos uses the disk model: every memory has a single region that all
+// processes can always read and write (static permissions), and there are no
+// messages. Each process owns one block (slot) per disk; a proposer writes
+// its block to a majority of disks and then reads all blocks from a majority
+// to learn whether it was preempted and which value to adopt.
+//
+// Because a proposer cannot know whether it ran uncontended without reading
+// the disks after its write, even the best case costs a write round trip plus
+// a read round trip per phase — at least four delays with the initial-ballot
+// optimization, versus two for Protected Memory Paxos. This is the behaviour
+// Theorem 6.1 proves unavoidable without dynamic permissions, and experiment
+// E5 measures.
+package diskpaxos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/types"
+)
+
+// Region is the single open region on each disk.
+const Region = types.RegionID("diskpaxos")
+
+// blockRegister names the block of process p.
+func blockRegister(p types.ProcID) types.RegisterID {
+	return types.RegisterID(fmt.Sprintf("block/%d", int(p)))
+}
+
+// Layout returns the per-disk region layout: one open region with a block per
+// process and static permissions.
+func Layout(procs []types.ProcID) []memsim.RegionSpec {
+	regs := make([]types.RegisterID, 0, len(procs))
+	for _, p := range procs {
+		regs = append(regs, blockRegister(p))
+	}
+	return []memsim.RegionSpec{{
+		ID:        Region,
+		Registers: regs,
+		Perm:      memsim.OpenPermission(procs),
+	}}
+}
+
+// block is the content of a process's block on a disk.
+type block struct {
+	Ballot    types.ProposalNumber `json:"ballot"`
+	AccBallot types.ProposalNumber `json:"acc_ballot"`
+	Value     types.Value          `json:"value,omitempty"`
+}
+
+func (b block) encode() (types.Value, error) {
+	out, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("encode block: %w", err)
+	}
+	return out, nil
+}
+
+func decodeBlock(raw types.Value) (block, bool) {
+	if raw.Bottom() {
+		return block{}, false
+	}
+	var b block
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return block{}, false
+	}
+	return b, true
+}
+
+// Config configures a Disk Paxos participant.
+type Config struct {
+	// Self is this process.
+	Self types.ProcID
+	// Procs is the full process set (n ≥ f_P + 1).
+	Procs []types.ProcID
+	// InitialLeader, if set, is the only process allowed to skip phase 1 on
+	// its very first ballot (the common-case optimization used for the
+	// best-case delay comparison with Protected Memory Paxos). Every other
+	// proposer always runs both phases.
+	InitialLeader types.ProcID
+	// FaultyMemories is f_M; m ≥ 2f_M+1 disks are required.
+	FaultyMemories int
+	// Memories is the disk pool, laid out with Layout.
+	Memories []*memsim.Memory
+	// Oracle is the Ω oracle (liveness only).
+	Oracle omega.Oracle
+	// RetryDelay is the pause before retrying a preempted round. Zero means
+	// 10ms.
+	RetryDelay time.Duration
+	// Clock is the causal delay clock; nil allocates a private one.
+	Clock *delayclock.Clock
+	// Recorder receives trace events; may be nil.
+	Recorder *trace.Recorder
+}
+
+// Validate checks the resilience bounds.
+func (c *Config) Validate() error {
+	if len(c.Procs) < 1 {
+		return fmt.Errorf("%w: at least one process is required", types.ErrInvalidConfig)
+	}
+	if len(c.Memories) < 2*c.FaultyMemories+1 {
+		return fmt.Errorf("%w: m=%d disks cannot tolerate f_M=%d crashes", types.ErrInvalidConfig, len(c.Memories), c.FaultyMemories)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = &delayclock.Clock{}
+	}
+}
+
+// Outcome reports a Disk Paxos decision.
+type Outcome struct {
+	// Value is the decided value.
+	Value types.Value
+	// DecisionDelays is the causal delay count along the decider's own
+	// operation chain (4 in the best case: phase-2 write plus verification
+	// read).
+	DecisionDelays int64
+	// Rounds is the number of ballots tried.
+	Rounds int
+}
+
+// Node is one Disk Paxos participant.
+type Node struct {
+	cfg Config
+
+	mu          sync.Mutex
+	highestSeen types.ProposalNumber
+	firstTry    bool
+}
+
+// New creates a Disk Paxos participant.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("disk paxos: %w", err)
+	}
+	cfg.applyDefaults()
+	return &Node{cfg: cfg, firstTry: true}, nil
+}
+
+// Clock returns the node's delay clock.
+func (n *Node) Clock() *delayclock.Clock { return n.cfg.Clock }
+
+func (n *Node) isLeader() bool {
+	if n.cfg.Oracle == nil {
+		return true
+	}
+	return n.cfg.Oracle.Leader() == n.cfg.Self
+}
+
+// Propose runs the proposer until it decides and returns the decision.
+func (n *Node) Propose(ctx context.Context, v types.Value) (Outcome, error) {
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindPropose, v, n.cfg.Clock.Now(), "disk paxos propose")
+	rounds := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, fmt.Errorf("disk paxos propose at %s: %w", n.cfg.Self, err)
+		}
+		if !n.isLeader() {
+			select {
+			case <-time.After(n.cfg.RetryDelay):
+				continue
+			case <-ctx.Done():
+				return Outcome{}, fmt.Errorf("disk paxos propose at %s: %w", n.cfg.Self, ctx.Err())
+			}
+		}
+		rounds++
+		out, decided, err := n.runRound(ctx, v)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if decided {
+			out.Rounds = rounds
+			return out, nil
+		}
+		select {
+		case <-time.After(n.cfg.RetryDelay):
+		case <-ctx.Done():
+			return Outcome{}, fmt.Errorf("disk paxos propose at %s: %w", n.cfg.Self, ctx.Err())
+		}
+	}
+}
+
+// phaseResult is the result of writing our block and reading all blocks on
+// one disk.
+type phaseResult struct {
+	blocks  []block
+	preempt bool
+	stamp   delayclock.Stamp
+	err     error
+}
+
+// runRound executes one ballot: an optional phase 1 (skipped on the very
+// first attempt, mirroring the Protected Memory Paxos experiment setup) and
+// phase 2, each consisting of a write followed by a read of all blocks on a
+// majority of disks.
+func (n *Node) runRound(ctx context.Context, v types.Value) (Outcome, bool, error) {
+	start := n.cfg.Clock.Now()
+
+	n.mu.Lock()
+	ballot := n.highestSeen.Next(n.cfg.Self, n.highestSeen)
+	n.highestSeen = ballot
+	skipPhase1 := n.firstTry && n.cfg.Self == n.cfg.InitialLeader
+	n.firstTry = false
+	n.mu.Unlock()
+
+	myValue := v.Clone()
+	phase2Start := start
+
+	if !skipPhase1 {
+		results, err := n.phase(ctx, block{Ballot: ballot}, start)
+		if err != nil {
+			return Outcome{}, false, err
+		}
+		var adoptBallot types.ProposalNumber
+		latest := start
+		for _, res := range results {
+			if res.preempt {
+				return Outcome{}, false, nil
+			}
+			if res.stamp > latest {
+				latest = res.stamp
+			}
+			for _, b := range res.blocks {
+				n.observe(b.Ballot)
+				if !b.AccBallot.IsZero() && !b.Value.Bottom() && adoptBallot.Less(b.AccBallot) {
+					adoptBallot = b.AccBallot
+					myValue = b.Value.Clone()
+				}
+			}
+		}
+		phase2Start = latest
+	}
+
+	results, err := n.phase(ctx, block{Ballot: ballot, AccBallot: ballot, Value: myValue}, phase2Start)
+	if err != nil {
+		return Outcome{}, false, err
+	}
+	completed := phase2Start
+	for _, res := range results {
+		if res.preempt {
+			for _, b := range res.blocks {
+				n.observe(b.Ballot)
+			}
+			return Outcome{}, false, nil
+		}
+		if res.stamp > completed {
+			completed = res.stamp
+		}
+	}
+
+	delays := int64(completed - start)
+	n.cfg.Recorder.Record(n.cfg.Self, trace.KindDecide, myValue, n.cfg.Clock.Now(),
+		"disk paxos decision in %d delays (ballot %s)", delays, ballot)
+	return Outcome{Value: myValue, DecisionDelays: delays}, true, nil
+}
+
+func (n *Node) observe(b types.ProposalNumber) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.highestSeen.Less(b) {
+		n.highestSeen = b
+	}
+}
+
+// phase writes our block and then reads every block on each disk, waiting for
+// a majority of disks to complete. The read is what detects contention — the
+// step Protected Memory Paxos's dynamic permissions make unnecessary.
+func (n *Node) phase(ctx context.Context, mine block, invoked delayclock.Stamp) ([]phaseResult, error) {
+	blob, err := mine.encode()
+	if err != nil {
+		return nil, err
+	}
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan phaseResult, len(n.cfg.Memories))
+	for _, mem := range n.cfg.Memories {
+		go func(mem *memsim.Memory) {
+			results <- n.phaseOnDisk(opCtx, mem, mine, blob, invoked)
+		}(mem)
+	}
+
+	quorum := len(n.cfg.Memories) - n.cfg.FaultyMemories
+	collected := make([]phaseResult, 0, quorum)
+	for i := 0; i < len(n.cfg.Memories); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				continue
+			}
+			collected = append(collected, res)
+			if len(collected) >= quorum {
+				return collected, nil
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("disk paxos phase at %s: %w", n.cfg.Self, ctx.Err())
+		}
+	}
+	return nil, fmt.Errorf("disk paxos phase at %s: quorum of disks unreachable: %w", n.cfg.Self, types.ErrMemoryCrashed)
+}
+
+func (n *Node) phaseOnDisk(ctx context.Context, mem *memsim.Memory, mine block, blob types.Value, invoked delayclock.Stamp) phaseResult {
+	res := phaseResult{}
+	stamp, err := mem.Write(ctx, n.cfg.Self, Region, blockRegister(n.cfg.Self), blob, invoked)
+	if err != nil {
+		if errors.Is(err, types.ErrNak) {
+			res.err = err
+		} else {
+			res.err = err
+		}
+		return res
+	}
+	n.cfg.Clock.Merge(stamp)
+
+	type readResult struct {
+		b     block
+		ok    bool
+		stamp delayclock.Stamp
+		err   error
+	}
+	reads := make(chan readResult, len(n.cfg.Procs))
+	for _, q := range n.cfg.Procs {
+		go func(q types.ProcID) {
+			raw, rstamp, rerr := mem.Read(ctx, n.cfg.Self, Region, blockRegister(q), stamp)
+			if rerr != nil {
+				reads <- readResult{err: rerr}
+				return
+			}
+			b, ok := decodeBlock(raw)
+			reads <- readResult{b: b, ok: ok, stamp: rstamp}
+		}(q)
+	}
+	latest := stamp
+	for range n.cfg.Procs {
+		r := <-reads
+		if r.err != nil {
+			res.err = r.err
+			return res
+		}
+		n.cfg.Clock.Merge(r.stamp)
+		if r.stamp > latest {
+			latest = r.stamp
+		}
+		if !r.ok {
+			continue
+		}
+		res.blocks = append(res.blocks, r.b)
+		if mine.Ballot.Less(r.b.Ballot) {
+			res.preempt = true
+		}
+	}
+	res.stamp = latest
+	return res
+}

@@ -1,0 +1,166 @@
+package diskpaxos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/types"
+)
+
+type fixture struct {
+	procs  []types.ProcID
+	pool   *memsim.Pool
+	oracle *omega.Static
+	nodes  map[types.ProcID]*Node
+}
+
+func newFixture(t *testing.T, n, m, fM int) *fixture {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return Layout(procs)
+	}, memsim.Options{})
+	f := &fixture{procs: procs, pool: pool, oracle: omega.NewStatic(1), nodes: make(map[types.ProcID]*Node)}
+	for _, p := range procs {
+		node, err := New(Config{
+			Self:           p,
+			Procs:          procs,
+			InitialLeader:  1,
+			FaultyMemories: fM,
+			Memories:       pool.Memories(),
+			Oracle:         f.oracle,
+		})
+		if err != nil {
+			t.Fatalf("New(%v): %v", p, err)
+		}
+		f.nodes[p] = node
+	}
+	return f
+}
+
+func TestBestCaseTakesFourDelays(t *testing.T) {
+	f := newFixture(t, 3, 3, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("disk-value"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("disk-value")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+	// Disk Paxos must read the disks after writing, so even the best case
+	// costs two memory round trips = 4 delays (Theorem 6.1: no 2-deciding
+	// algorithm exists with static permissions).
+	if out.DecisionDelays != 4 {
+		t.Fatalf("best-case Disk Paxos decision took %d delays, want 4", out.DecisionDelays)
+	}
+}
+
+func TestAgreementAcrossSuccessiveLeaders(t *testing.T) {
+	f := newFixture(t, 3, 3, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	first, err := f.nodes[1].Propose(ctx, types.Value("first"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	f.oracle.SetLeader(2)
+	second, err := f.nodes[2].Propose(ctx, types.Value("second"))
+	if err != nil {
+		t.Fatalf("second Propose: %v", err)
+	}
+	if !second.Value.Equal(first.Value) {
+		t.Fatalf("agreement violated: %v then %v", first.Value, second.Value)
+	}
+}
+
+func TestToleratesMinorityDiskCrash(t *testing.T) {
+	f := newFixture(t, 2, 5, 2)
+	f.pool.CrashQuorumSafe(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	out, err := f.nodes[1].Propose(ctx, types.Value("disk-crash"))
+	if err != nil {
+		t.Fatalf("Propose with crashed disks: %v", err)
+	}
+	if !out.Value.Equal(types.Value("disk-crash")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+}
+
+func TestBlocksWithoutDiskMajority(t *testing.T) {
+	f := newFixture(t, 2, 3, 1)
+	f.pool.CrashQuorumSafe(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := f.nodes[1].Propose(ctx, types.Value("stuck")); err == nil {
+		t.Fatalf("proposal should not complete without a majority of disks")
+	}
+}
+
+func TestSingleProcessSufficient(t *testing.T) {
+	// Disk Paxos (like Protected Memory Paxos) needs only one live process.
+	f := newFixture(t, 1, 3, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := f.nodes[1].Propose(ctx, types.Value("solo"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("solo")) {
+		t.Fatalf("decided %v", out.Value)
+	}
+}
+
+func TestLaterProposerAdoptsChosenValue(t *testing.T) {
+	f := newFixture(t, 3, 3, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := f.nodes[1].Propose(ctx, types.Value("chosen")); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	f.oracle.SetLeader(3)
+	out, err := f.nodes[3].Propose(ctx, types.Value("mine"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !out.Value.Equal(types.Value("chosen")) {
+		t.Fatalf("later proposer decided %v instead of adopting the chosen value", out.Value)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	procs := []types.ProcID{1}
+	pool := memsim.NewPool(3, func(types.MemID) []memsim.RegionSpec { return Layout(procs) }, memsim.Options{})
+	if _, err := New(Config{Self: 1, Procs: procs, FaultyMemories: 2, Memories: pool.Memories()}); err == nil {
+		t.Fatalf("m=3, f_M=2 should be rejected")
+	}
+	if _, err := New(Config{Self: 1, Procs: nil, FaultyMemories: 1, Memories: pool.Memories()}); err == nil {
+		t.Fatalf("empty process set should be rejected")
+	}
+}
+
+func TestBlockEncoding(t *testing.T) {
+	b := block{Ballot: types.ProposalNumber{Round: 1, Proposer: 1}, Value: types.Value("x")}
+	blob, err := b.encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, ok := decodeBlock(blob)
+	if !ok || !dec.Ballot.Equal(b.Ballot) || !dec.Value.Equal(b.Value) {
+		t.Fatalf("round trip mismatch")
+	}
+	if _, ok := decodeBlock(nil); ok {
+		t.Fatalf("bottom should not decode")
+	}
+}

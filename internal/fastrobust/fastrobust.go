@@ -1,0 +1,187 @@
+// Package fastrobust implements the paper's Fast & Robust algorithm (§4.3):
+// the composition of the Cheap Quorum fast path with the Preferential Paxos
+// backup path, yielding a 2-deciding algorithm for weak Byzantine agreement
+// with n ≥ 2f_P + 1 processes and m ≥ 2f_M + 1 memories (Theorem 4.9).
+//
+// A process first runs Cheap Quorum. If it decides there, that is its
+// decision (Lemma 4.8 guarantees the backup can only decide the same value).
+// If Cheap Quorum aborts, the process uses its abort value — prioritized per
+// Definition 3 (unanimity proof > leader signature > anything else) — as its
+// input to Preferential Paxos and decides whatever the backup decides.
+package fastrobust
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdmaagreement/internal/cheapquorum"
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/regreg"
+	"rdmaagreement/internal/robust"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/types"
+)
+
+// Layout returns the per-memory region layout required by Fast & Robust: the
+// Cheap Quorum regions (per-process Value/Panic/Proof plus the leader region)
+// and the dynamic SWMR regions used by non-equivocating broadcast in the
+// backup path.
+func Layout(procs []types.ProcID, leader types.ProcID) []memsim.RegionSpec {
+	specs := cheapquorum.Layout(procs, leader)
+	specs = append(specs, regreg.DynamicLayout(procs)...)
+	return specs
+}
+
+// LegalChange returns the permission-change policy for memories laid out with
+// Layout: only revocation of write access on the Cheap Quorum leader region
+// is ever legal.
+func LegalChange() memsim.LegalChangeFunc { return cheapquorum.LegalChange() }
+
+// Config configures a Fast & Robust participant.
+type Config struct {
+	// Self is this process.
+	Self types.ProcID
+	// Leader is the Cheap Quorum fast-path leader (p1 in the paper).
+	Leader types.ProcID
+	// Procs is the full process set; n ≥ 2·FaultyProcesses+1.
+	Procs []types.ProcID
+	// FaultyProcesses is f_P.
+	FaultyProcesses int
+	// FaultyMemories is f_M; m ≥ 2·FaultyMemories+1.
+	FaultyMemories int
+	// Memories is the shared memory pool (laid out with Layout/LegalChange).
+	Memories []*memsim.Memory
+	// Ring holds every process's signing keys.
+	Ring *sigs.KeyRing
+	// Oracle is the Ω oracle used by the backup path for liveness.
+	Oracle omega.Oracle
+	// FastTimeout is the Cheap Quorum common-case bound. Zero means 250ms.
+	FastTimeout time.Duration
+	// BackupRoundTimeout is the Paxos round timeout of the backup path. Zero
+	// means 200ms.
+	BackupRoundTimeout time.Duration
+	// Clock is the causal delay clock shared by both paths; nil allocates a
+	// private one.
+	Clock *delayclock.Clock
+	// Recorder receives trace events; may be nil.
+	Recorder *trace.Recorder
+}
+
+// Outcome describes how a Fast & Robust decision was reached.
+type Outcome struct {
+	// Value is the decided value.
+	Value types.Value
+	// FastPath reports whether the decision was reached on the Cheap Quorum
+	// fast path.
+	FastPath bool
+	// DecisionDelays is the causal delay count of the decision (2 on the
+	// fast path in the common case).
+	DecisionDelays int64
+}
+
+// Node is one Fast & Robust participant.
+type Node struct {
+	cfg   Config
+	cheap *cheapquorum.Node
+	pref  *robust.PreferentialPaxos
+}
+
+// New wires a Fast & Robust participant over the shared memory pool.
+func New(cfg Config) (*Node, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = &delayclock.Clock{}
+	}
+	cheap, err := cheapquorum.New(cheapquorum.Config{
+		Self:            cfg.Self,
+		Leader:          cfg.Leader,
+		Procs:           cfg.Procs,
+		FaultyProcesses: cfg.FaultyProcesses,
+		FaultyMemories:  cfg.FaultyMemories,
+		Memories:        cfg.Memories,
+		Ring:            cfg.Ring,
+		Timeout:         cfg.FastTimeout,
+		Clock:           cfg.Clock,
+		Recorder:        cfg.Recorder,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fast&robust: %w", err)
+	}
+	pref, err := robust.NewPreferentialPaxos(robust.Config{
+		Self:            cfg.Self,
+		Procs:           cfg.Procs,
+		FaultyProcesses: cfg.FaultyProcesses,
+		FaultyMemories:  cfg.FaultyMemories,
+		Memories:        cfg.Memories,
+		Ring:            cfg.Ring,
+		Oracle:          cfg.Oracle,
+		RoundTimeout:    cfg.BackupRoundTimeout,
+		Clock:           cfg.Clock,
+		Recorder:        cfg.Recorder,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fast&robust: %w", err)
+	}
+	return &Node{cfg: cfg, cheap: cheap, pref: pref}, nil
+}
+
+// Start launches the backup path's background stack (the fast path needs no
+// background work until Propose is called).
+func (n *Node) Start() { n.pref.Start() }
+
+// Stop terminates all background goroutines.
+func (n *Node) Stop() {
+	n.cheap.Stop()
+	n.pref.Stop()
+}
+
+// Clock returns the node's delay clock.
+func (n *Node) Clock() *delayclock.Clock { return n.cfg.Clock }
+
+// Propose runs Fast & Robust with input v and returns the decision.
+func (n *Node) Propose(ctx context.Context, v types.Value) (Outcome, error) {
+	fast, err := n.cheap.Propose(ctx, v)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("fast&robust fast path: %w", err)
+	}
+	if fast.Decided {
+		n.cfg.Recorder.Record(n.cfg.Self, trace.KindInfo, fast.Value, n.cfg.Clock.Now(), "fast-path decision")
+		return Outcome{Value: fast.Value, FastPath: true, DecisionDelays: fast.DecisionDelays}, nil
+	}
+
+	input := robust.PrioritizedValue{Value: fast.AbortValue, Priority: n.priorityOf(fast)}
+	start := n.cfg.Clock.Now()
+	decided, err := n.pref.Propose(ctx, input)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("fast&robust backup path: %w", err)
+	}
+	return Outcome{
+		Value:          decided,
+		FastPath:       false,
+		DecisionDelays: int64(n.cfg.Clock.Now() - start),
+	}, nil
+}
+
+// priorityOf maps a Cheap Quorum abort outcome to the Definition-3 priority
+// classes: T (unanimity proof) > M (leader signature) > B (everything else).
+func (n *Node) priorityOf(out cheapquorum.Outcome) robust.Priority {
+	switch {
+	case out.HasUnanimityProof &&
+		cheapquorum.VerifyUnanimityProof(n.cfg.Ring, n.cfg.Procs, n.cfg.Leader, out.AbortProof, out.AbortValue):
+		return robust.PriorityUnanimity
+	case out.LeaderSigned:
+		return robust.PriorityLeaderSigned
+	default:
+		return robust.PriorityBottom
+	}
+}
+
+// WaitDecision blocks until the backup path learns a decision. It is useful
+// for processes that did not call Propose (for example crashed-and-recovered
+// observers); fast-path decisions are returned by Propose directly.
+func (n *Node) WaitDecision(ctx context.Context) (types.Value, error) {
+	return n.pref.WaitDecision(ctx)
+}

@@ -1,0 +1,255 @@
+package fastrobust
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/types"
+)
+
+type fixture struct {
+	procs []types.ProcID
+	pool  *memsim.Pool
+	ring  *sigs.KeyRing
+	nodes map[types.ProcID]*Node
+}
+
+func newFixture(t *testing.T, n, m int, fastTimeout time.Duration) *fixture {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return Layout(procs, 1)
+	}, memsim.Options{LegalChange: LegalChange()})
+	f := &fixture{
+		procs: procs,
+		pool:  pool,
+		ring:  sigs.NewKeyRing(procs),
+		nodes: make(map[types.ProcID]*Node),
+	}
+	oracle := omega.NewStatic(2) // backup-path leader; distinct from the fast-path leader on purpose
+	for _, p := range procs {
+		node, err := New(Config{
+			Self:            p,
+			Leader:          1,
+			Procs:           procs,
+			FaultyProcesses: (n - 1) / 2,
+			FaultyMemories:  (m - 1) / 2,
+			Memories:        pool.Memories(),
+			Ring:            f.ring,
+			Oracle:          oracle,
+			FastTimeout:     fastTimeout,
+		})
+		if err != nil {
+			t.Fatalf("New(%v): %v", p, err)
+		}
+		node.Start()
+		f.nodes[p] = node
+	}
+	t.Cleanup(func() {
+		for _, node := range f.nodes {
+			node.Stop()
+		}
+	})
+	return f
+}
+
+func proposeAll(t *testing.T, f *fixture, ctx context.Context, inputs map[types.ProcID]types.Value) map[types.ProcID]Outcome {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	outcomes := make(map[types.ProcID]Outcome)
+	for _, p := range f.procs {
+		if _, ok := inputs[p]; !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			out, err := f.nodes[p].Propose(ctx, inputs[p])
+			if err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			outcomes[p] = out
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+func assertAgreement(t *testing.T, outcomes map[types.ProcID]Outcome) types.Value {
+	t.Helper()
+	var first types.Value
+	for p, out := range outcomes {
+		if first == nil {
+			first = out.Value
+			continue
+		}
+		if !out.Value.Equal(first) {
+			t.Fatalf("agreement violated: %v decided %v, others decided %v", p, out.Value, first)
+		}
+	}
+	return first
+}
+
+func TestCommonCaseAllDecideOnFastPath(t *testing.T) {
+	f := newFixture(t, 3, 3, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	inputs := map[types.ProcID]types.Value{
+		1: types.Value("leader-value"),
+		2: types.Value("leader-value"),
+		3: types.Value("leader-value"),
+	}
+	outcomes := proposeAll(t, f, ctx, inputs)
+	decision := assertAgreement(t, outcomes)
+	if !decision.Equal(types.Value("leader-value")) {
+		t.Fatalf("decision %v", decision)
+	}
+	leaderOut := outcomes[1]
+	if !leaderOut.FastPath {
+		t.Fatalf("leader should decide on the fast path in the common case")
+	}
+	if leaderOut.DecisionDelays != 2 {
+		t.Fatalf("leader decision took %d delays, want 2 (Theorem 4.9)", leaderOut.DecisionDelays)
+	}
+	for p, out := range outcomes {
+		if !out.FastPath {
+			t.Fatalf("process %v fell back to the backup path in the common case", p)
+		}
+	}
+}
+
+func TestValidityInCommonCase(t *testing.T) {
+	f := newFixture(t, 3, 3, time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// With no faulty processes the decision must be some process's input
+	// (weak Byzantine agreement validity). The fast path always decides the
+	// leader's input.
+	inputs := map[types.ProcID]types.Value{
+		1: types.Value("input-1"),
+		2: types.Value("input-2"),
+		3: types.Value("input-3"),
+	}
+	outcomes := proposeAll(t, f, ctx, inputs)
+	decision := assertAgreement(t, outcomes)
+	valid := false
+	for _, in := range inputs {
+		if decision.Equal(in) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decision %v is not the input of any process", decision)
+	}
+}
+
+func TestSilentLeaderFallsBackToBackup(t *testing.T) {
+	f := newFixture(t, 3, 3, 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// The fast-path leader p1 is Byzantine-silent: it never proposes. The
+	// followers time out, abort, and the backup path must decide one of
+	// their inputs.
+	inputs := map[types.ProcID]types.Value{
+		2: types.Value("backup-2"),
+		3: types.Value("backup-3"),
+	}
+	outcomes := proposeAll(t, f, ctx, inputs)
+	if len(outcomes) != 2 {
+		t.Fatalf("expected 2 outcomes, got %d", len(outcomes))
+	}
+	decision := assertAgreement(t, outcomes)
+	if !decision.Equal(types.Value("backup-2")) && !decision.Equal(types.Value("backup-3")) {
+		t.Fatalf("backup decision %v is not a correct process's input", decision)
+	}
+	for p, out := range outcomes {
+		if out.FastPath {
+			t.Fatalf("process %v claims a fast-path decision with a silent leader", p)
+		}
+	}
+}
+
+func TestCompositionLeaderFastDecisionDominatesBackup(t *testing.T) {
+	f := newFixture(t, 3, 3, 150*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// The leader proposes alone and decides on the fast path. The two
+	// followers never see unanimity (the leader already returned), so they
+	// abort and run the backup. The Composition Lemma (4.8) requires the
+	// backup to decide the leader's fast-path value.
+	leaderOut, err := f.nodes[1].Propose(ctx, types.Value("fast-decided"))
+	if err != nil {
+		t.Fatalf("leader Propose: %v", err)
+	}
+	if !leaderOut.FastPath || !leaderOut.Value.Equal(types.Value("fast-decided")) {
+		t.Fatalf("leader outcome %+v", leaderOut)
+	}
+
+	inputs := map[types.ProcID]types.Value{
+		2: types.Value("follower-2"),
+		3: types.Value("follower-3"),
+	}
+	outcomes := proposeAll(t, f, ctx, inputs)
+	for p, out := range outcomes {
+		if !out.Value.Equal(types.Value("fast-decided")) {
+			t.Fatalf("composition violated: %v decided %v but the leader already decided fast-decided", p, out.Value)
+		}
+	}
+}
+
+func TestToleratesMemoryCrash(t *testing.T) {
+	f := newFixture(t, 3, 3, time.Second)
+	f.pool.CrashQuorumSafe(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	inputs := map[types.ProcID]types.Value{
+		1: types.Value("with-memory-crash"),
+		2: types.Value("with-memory-crash"),
+		3: types.Value("with-memory-crash"),
+	}
+	outcomes := proposeAll(t, f, ctx, inputs)
+	decision := assertAgreement(t, outcomes)
+	if !decision.Equal(types.Value("with-memory-crash")) {
+		t.Fatalf("decision %v", decision)
+	}
+	if out := outcomes[1]; !out.FastPath || out.DecisionDelays != 2 {
+		t.Fatalf("leader should still be 2-deciding with a crashed memory minority: %+v", out)
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	procs := []types.ProcID{1, 2, 3}
+	pool := memsim.NewPool(3, func(types.MemID) []memsim.RegionSpec {
+		return Layout(procs, 1)
+	}, memsim.Options{LegalChange: LegalChange()})
+	ring := sigs.NewKeyRing(procs)
+	_, err := New(Config{
+		Self:            1,
+		Leader:          1,
+		Procs:           procs,
+		FaultyProcesses: 2, // n=3 cannot tolerate 2
+		FaultyMemories:  1,
+		Memories:        pool.Memories(),
+		Ring:            ring,
+	})
+	if err == nil {
+		t.Fatalf("invalid configuration accepted")
+	}
+}

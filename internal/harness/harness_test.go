@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rdmaagreement/internal/core"
+)
+
+func TestTableRendering(t *testing.T) {
+	table := Table{
+		Name:        "T",
+		Description: "demo",
+		Columns:     []string{"a", "long-column"},
+		Rows:        [][]string{{"1", "2"}, {"wide-cell", "3"}},
+	}
+	out := table.String()
+	if !strings.Contains(out, "long-column") || !strings.Contains(out, "wide-cell") {
+		t.Fatalf("rendered table missing cells:\n%s", out)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	for _, id := range ExperimentIDs() {
+		if _, ok := exps[id]; !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if len(exps) != len(ExperimentIDs()) {
+		t.Fatalf("registry and id list out of sync")
+	}
+}
+
+func TestE1ReproducesPaperDelays(t *testing.T) {
+	table, err := E1DecisionDelays()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	want := map[string]string{
+		string(core.ProtocolFastRobust):           "2",
+		string(core.ProtocolProtectedMemoryPaxos): "2",
+		string(core.ProtocolDiskPaxos):            "4",
+		string(core.ProtocolPaxos):                "4",
+		string(core.ProtocolFastPaxos):            "2",
+	}
+	for _, row := range table.Rows {
+		protocol, delays := row[0], row[3]
+		expected, ok := want[protocol]
+		if !ok {
+			continue
+		}
+		if delays != expected {
+			t.Fatalf("E1: %s decided in %s delays, paper says %s\n%s", protocol, delays, expected, table)
+		}
+	}
+}
+
+func TestE5LowerBoundShape(t *testing.T) {
+	table, err := E5StaticPermissionLowerBound()
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	var disk, pm int
+	for _, row := range table.Rows {
+		v, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("E5: bad delay cell %q", row[2])
+		}
+		switch row[0] {
+		case "disk-paxos":
+			disk = v
+		case "protected-memory-paxos":
+			pm = v
+		}
+	}
+	if pm != 2 {
+		t.Fatalf("E5: protected memory paxos should be 2-deciding, got %d", pm)
+	}
+	if disk < 4 {
+		t.Fatalf("E5: disk paxos (static permissions) should need at least 4 delays, got %d", disk)
+	}
+}
+
+func TestE3CrashResilience(t *testing.T) {
+	table, err := E3CrashResilience()
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	for _, row := range table.Rows {
+		if row[4] != "yes" {
+			t.Fatalf("E3: run %v did not decide", row)
+		}
+	}
+}
+
+func TestE6FastPathUsesSingleSignature(t *testing.T) {
+	table, err := E6SignatureCost()
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	for _, row := range table.Rows {
+		if !strings.HasPrefix(row[0], "fast") {
+			continue
+		}
+		signs, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("E6: bad sign count %q", row[1])
+		}
+		if signs != 1 {
+			t.Fatalf("E6: the fast-path leader should need exactly one signature, used %d\n%s", signs, table)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package memsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rdmaagreement/internal/types"
+)
+
+const (
+	regionA = types.RegionID("region-a")
+	regionB = types.RegionID("region-b")
+	regX    = types.RegisterID("x")
+	regY    = types.RegisterID("y")
+)
+
+func newTestMemory(legal LegalChangeFunc) *Memory {
+	return NewMemory(1, []RegionSpec{
+		{
+			ID:        regionA,
+			Registers: []types.RegisterID{regX, regY},
+			Perm:      SWMRPermission(1, []types.ProcID{1, 2, 3}),
+		},
+		{
+			ID:        regionB,
+			Registers: []types.RegisterID{regY},
+			Perm:      OpenPermission([]types.ProcID{1, 2, 3}),
+		},
+	}, Options{LegalChange: legal})
+}
+
+func TestReadInitialValueIsBottom(t *testing.T) {
+	m := newTestMemory(nil)
+	v, stamp, err := m.Read(context.Background(), 2, regionA, regX, 0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !v.Bottom() {
+		t.Fatalf("initial register value should be bottom, got %v", v)
+	}
+	if stamp != 2 {
+		t.Fatalf("read should cost 2 delays, stamp = %v", stamp)
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	stamp, err := m.Write(ctx, 1, regionA, regX, types.Value("hello"), 0)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if stamp != 2 {
+		t.Fatalf("write should cost 2 delays, stamp = %v", stamp)
+	}
+	v, stamp, err := m.Read(ctx, 3, regionA, regX, stamp)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !v.Equal(types.Value("hello")) {
+		t.Fatalf("read %v, want hello", v)
+	}
+	if stamp != 4 {
+		t.Fatalf("cumulative stamp = %v, want 4", stamp)
+	}
+}
+
+func TestWriteWithoutPermissionNaks(t *testing.T) {
+	m := newTestMemory(nil)
+	_, err := m.Write(context.Background(), 2, regionA, regX, types.Value("evil"), 0)
+	if !errors.Is(err, types.ErrNak) {
+		t.Fatalf("expected nak, got %v", err)
+	}
+	// The register must be unchanged.
+	v, _, err := m.Read(context.Background(), 2, regionA, regX, 0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !v.Bottom() {
+		t.Fatalf("nak'd write modified the register: %v", v)
+	}
+}
+
+func TestReadWithoutPermissionNaks(t *testing.T) {
+	m := NewMemory(1, []RegionSpec{{
+		ID:        regionA,
+		Registers: []types.RegisterID{regX},
+		Perm:      NewPermission(types.NewProcSet(2), nil, types.NewProcSet(1)),
+	}}, Options{})
+	_, _, err := m.Read(context.Background(), 3, regionA, regX, 0)
+	if !errors.Is(err, types.ErrNak) {
+		t.Fatalf("expected nak for unauthorized reader, got %v", err)
+	}
+}
+
+func TestUnknownRegionAndRegister(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	if _, _, err := m.Read(ctx, 1, "nope", regX, 0); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("expected unknown region, got %v", err)
+	}
+	if _, err := m.Write(ctx, 1, "nope", regX, nil, 0); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("expected unknown region, got %v", err)
+	}
+	if _, _, err := m.Read(ctx, 1, regionB, regX, 0); !errors.Is(err, types.ErrUnknownRegister) {
+		t.Fatalf("expected unknown register (x is not in region-b), got %v", err)
+	}
+	if _, err := m.ChangePermission(ctx, 1, "nope", Permission{}, 0); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("expected unknown region on permission change, got %v", err)
+	}
+}
+
+func TestRegistersAreRegionScoped(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	// Regions A and B both declare a register named y, but they are distinct
+	// registers: the paper's algorithms never use overlapping regions, and
+	// region-scoping prevents one region's writes from aliasing another's.
+	if _, err := m.Write(ctx, 2, regionB, regY, types.Value("via-b"), 0); err != nil {
+		t.Fatalf("Write via open region: %v", err)
+	}
+	v, _, err := m.Read(ctx, 3, regionA, regY, 0)
+	if err != nil {
+		t.Fatalf("Read via region A: %v", err)
+	}
+	if !v.Bottom() {
+		t.Fatalf("write through region B leaked into region A's register: %v", v)
+	}
+	// The write is visible through the region it was addressed to.
+	v, _, err = m.Read(ctx, 3, regionB, regY, 0)
+	if err != nil {
+		t.Fatalf("Read via region B: %v", err)
+	}
+	if !v.Equal(types.Value("via-b")) {
+		t.Fatalf("read via region B = %v", v)
+	}
+}
+
+func TestStaticPermissionsRejectChanges(t *testing.T) {
+	m := newTestMemory(nil) // nil => StaticPermissions
+	_, err := m.ChangePermission(context.Background(), 2, regionA, OpenPermission([]types.ProcID{1, 2, 3}), 0)
+	if !errors.Is(err, types.ErrIllegalPermissionChange) {
+		t.Fatalf("static permissions should reject change, got %v", err)
+	}
+}
+
+func TestRevokeOnlyPolicy(t *testing.T) {
+	m := newTestMemory(RevokeOnly())
+	ctx := context.Background()
+
+	// Revoking the owner's write access is legal.
+	revoked := NewPermission(types.NewProcSet(1, 2, 3), nil, nil)
+	if _, err := m.ChangePermission(ctx, 2, regionA, revoked, 0); err != nil {
+		t.Fatalf("revocation should be legal: %v", err)
+	}
+	// The owner can no longer write.
+	if _, err := m.Write(ctx, 1, regionA, regX, types.Value("late"), 0); !errors.Is(err, types.ErrNak) {
+		t.Fatalf("write after revocation should nak, got %v", err)
+	}
+	// Granting write access to a new process is illegal.
+	grant := NewPermission(nil, nil, types.NewProcSet(2))
+	if _, err := m.ChangePermission(ctx, 2, regionA, grant, 0); !errors.Is(err, types.ErrIllegalPermissionChange) {
+		t.Fatalf("grant should be illegal under RevokeOnly, got %v", err)
+	}
+}
+
+func TestExclusiveWriterPolicy(t *testing.T) {
+	procs := []types.ProcID{1, 2, 3}
+	m := NewMemory(1, []RegionSpec{{
+		ID:        regionA,
+		Registers: []types.RegisterID{regX},
+		Perm:      NewPermission(types.NewProcSet(2, 3), nil, types.NewProcSet(1)),
+	}}, Options{LegalChange: ExclusiveWriterPolicy(procs)})
+	ctx := context.Background()
+
+	// p2 takes over exclusive write permission.
+	take := NewPermission(types.NewProcSet(1, 3), nil, types.NewProcSet(2))
+	if _, err := m.ChangePermission(ctx, 2, regionA, take, 0); err != nil {
+		t.Fatalf("takeover should be legal: %v", err)
+	}
+	// The old leader's writes now nak.
+	if _, err := m.Write(ctx, 1, regionA, regX, types.Value("stale"), 0); !errors.Is(err, types.ErrNak) {
+		t.Fatalf("old leader write should nak, got %v", err)
+	}
+	// The new leader's writes succeed.
+	if _, err := m.Write(ctx, 2, regionA, regX, types.Value("fresh"), 0); err != nil {
+		t.Fatalf("new leader write: %v", err)
+	}
+	// A takeover that does not leave others readable is illegal.
+	bad := NewPermission(types.NewProcSet(1), nil, types.NewProcSet(3))
+	if _, err := m.ChangePermission(ctx, 3, regionA, bad, 0); !errors.Is(err, types.ErrIllegalPermissionChange) {
+		t.Fatalf("malformed takeover should be illegal, got %v", err)
+	}
+}
+
+func TestCrashedMemoryHangsUntilContextCancelled(t *testing.T) {
+	m := newTestMemory(nil)
+	m.Crash()
+	if !m.Crashed() {
+		t.Fatalf("Crashed() should report true")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := m.Read(ctx, 1, regionA, regX, 0)
+	if !errors.Is(err, types.ErrMemoryCrashed) {
+		t.Fatalf("expected crash error, got %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatalf("crashed memory returned before context cancellation")
+	}
+}
+
+func TestOperationLatency(t *testing.T) {
+	m := NewMemory(1, []RegionSpec{{
+		ID:        regionA,
+		Registers: []types.RegisterID{regX},
+		Perm:      OpenPermission([]types.ProcID{1}),
+	}}, Options{OperationLatency: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := m.Write(context.Background(), 1, regionA, regX, types.Value("v"), 0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("operation latency not applied: %v", elapsed)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	_, _ = m.Write(ctx, 1, regionA, regX, types.Value("v"), 0)
+	_, _, _ = m.Read(ctx, 2, regionA, regX, 0)
+	_, _ = m.Write(ctx, 2, regionA, regX, types.Value("v"), 0) // nak
+	s := m.Counters().Snapshot()
+	if s.Writes != 2 || s.Reads != 1 || s.Naks != 1 {
+		t.Fatalf("counters = %+v", s)
+	}
+	if s.Total() != 3 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestAddRegion(t *testing.T) {
+	m := newTestMemory(nil)
+	newRegion := types.RegionID("late")
+	m.AddRegion(RegionSpec{
+		ID:        newRegion,
+		Registers: []types.RegisterID{"z"},
+		Perm:      OpenPermission([]types.ProcID{5}),
+	})
+	if _, err := m.Write(context.Background(), 5, newRegion, "z", types.Value("ok"), 0); err != nil {
+		t.Fatalf("write to late region: %v", err)
+	}
+}
+
+func TestRegionPermissionInspection(t *testing.T) {
+	m := newTestMemory(nil)
+	perm, err := m.RegionPermission(regionA)
+	if err != nil {
+		t.Fatalf("RegionPermission: %v", err)
+	}
+	if !perm.CanWrite(1) || perm.CanWrite(2) {
+		t.Fatalf("unexpected permission %v", perm)
+	}
+	if _, err := m.RegionPermission("nope"); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("expected unknown region, got %v", err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	layout := func(types.MemID) []RegionSpec {
+		return []RegionSpec{{
+			ID:        regionA,
+			Registers: []types.RegisterID{regX},
+			Perm:      OpenPermission([]types.ProcID{1, 2}),
+		}}
+	}
+	pool := NewPool(3, layout, Options{})
+	if pool.Size() != 3 {
+		t.Fatalf("pool size = %d", pool.Size())
+	}
+	if pool.Memory(2) == nil || pool.Memory(2).ID() != 2 {
+		t.Fatalf("Memory(2) lookup broken")
+	}
+	if pool.Memory(0) != nil || pool.Memory(4) != nil {
+		t.Fatalf("out-of-range lookups should return nil")
+	}
+	crashed := pool.CrashQuorumSafe(1)
+	if len(crashed) != 1 || !pool.Memory(crashed[0]).Crashed() {
+		t.Fatalf("CrashQuorumSafe did not crash one memory")
+	}
+	ctx := context.Background()
+	if _, err := pool.Memory(2).Write(ctx, 1, regionA, regX, types.Value("a"), 0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	total := pool.TotalOps()
+	if total.Writes != 1 {
+		t.Fatalf("TotalOps = %+v", total)
+	}
+	if len(pool.Memories()) != 3 {
+		t.Fatalf("Memories() length wrong")
+	}
+}
+
+func TestPermissionHelpers(t *testing.T) {
+	perm := SWMRPermission(1, []types.ProcID{1, 2, 3})
+	if !perm.CanWrite(1) || !perm.CanRead(1) {
+		t.Fatalf("owner should have read-write access")
+	}
+	if perm.CanWrite(2) || !perm.CanRead(2) {
+		t.Fatalf("reader access wrong")
+	}
+	open := OpenPermission([]types.ProcID{1, 2})
+	if !open.CanRead(2) || !open.CanWrite(2) {
+		t.Fatalf("open permission should grant both")
+	}
+	clone := perm.Clone()
+	if !clone.Equal(perm) {
+		t.Fatalf("clone not equal")
+	}
+	if perm.Equal(open) {
+		t.Fatalf("distinct permissions reported equal")
+	}
+	if perm.String() == "" || open.String() == "" {
+		t.Fatalf("permission stringer empty")
+	}
+}
+
+// Property: a write by a process with write permission is always visible to a
+// subsequent read by a process with read permission (regular register,
+// sequential case).
+func TestWriteReadVisibilityProperty(t *testing.T) {
+	m := NewMemory(1, []RegionSpec{{
+		ID:        regionA,
+		Registers: []types.RegisterID{regX},
+		Perm:      OpenPermission([]types.ProcID{1, 2, 3}),
+	}}, Options{})
+	ctx := context.Background()
+	f := func(payload []byte, writer, reader uint8) bool {
+		w := types.ProcID(writer%3 + 1)
+		r := types.ProcID(reader%3 + 1)
+		if _, err := m.Write(ctx, w, regionA, regX, payload, 0); err != nil {
+			return false
+		}
+		v, _, err := m.Read(ctx, r, regionA, regX, 0)
+		if err != nil {
+			return false
+		}
+		return v.Equal(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicRegion(t *testing.T) {
+	m := NewMemory(1, []RegionSpec{{
+		ID:      "dyn",
+		Perm:    OpenPermission([]types.ProcID{1, 2}),
+		Dynamic: true,
+	}}, Options{})
+	ctx := context.Background()
+	// Reading a never-written register in a dynamic region returns ⊥.
+	v, _, err := m.Read(ctx, 1, "dyn", "slot/5/2", 0)
+	if err != nil {
+		t.Fatalf("Read dynamic: %v", err)
+	}
+	if !v.Bottom() {
+		t.Fatalf("unwritten dynamic register should read ⊥")
+	}
+	// Writing an arbitrary register name succeeds and is visible.
+	if _, err := m.Write(ctx, 2, "dyn", "slot/7/1", types.Value("x"), 0); err != nil {
+		t.Fatalf("Write dynamic: %v", err)
+	}
+	v, _, err = m.Read(ctx, 1, "dyn", "slot/7/1", 0)
+	if err != nil {
+		t.Fatalf("Read dynamic after write: %v", err)
+	}
+	if !v.Equal(types.Value("x")) {
+		t.Fatalf("dynamic register read %v", v)
+	}
+	// Static regions still reject unknown registers.
+	if _, _, err := m.Read(ctx, 1, regionA, "slot/7/1", 0); err == nil {
+		t.Fatalf("static region accepted unknown register")
+	}
+}

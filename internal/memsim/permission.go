@@ -1,0 +1,168 @@
+// Package memsim simulates the RDMA-style shared memories of the paper's
+// message-and-memory model.
+//
+// Each Memory holds a set of registers grouped into (possibly overlapping)
+// regions. Every region carries a permission: three disjoint sets of
+// processes allowed to read, write, or read-write the region's registers.
+// Processes access registers through Read and Write operations that are
+// checked against the permission of the addressed region, and may change a
+// region's permission with ChangePermission, subject to the region's
+// legalChange policy. Memories may crash, in which case operations hang
+// forever (the caller's context is the only way out), exactly as in the
+// model.
+package memsim
+
+import (
+	"rdmaagreement/internal/types"
+)
+
+// Permission is the access triple (R, W, RW) of a memory region. The three
+// sets are disjoint by convention: R grants read-only access, W grants
+// write-only access, RW grants both.
+type Permission struct {
+	R  types.ProcSet
+	W  types.ProcSet
+	RW types.ProcSet
+}
+
+// NewPermission builds a permission from the three access sets. Nil sets are
+// treated as empty.
+func NewPermission(r, w, rw types.ProcSet) Permission {
+	if r == nil {
+		r = types.NewProcSet()
+	}
+	if w == nil {
+		w = types.NewProcSet()
+	}
+	if rw == nil {
+		rw = types.NewProcSet()
+	}
+	return Permission{R: r, W: w, RW: rw}
+}
+
+// SWMRPermission returns the permission of a single-writer multi-reader
+// region: owner has read-write access and every other process in readers has
+// read access.
+func SWMRPermission(owner types.ProcID, readers []types.ProcID) Permission {
+	r := types.NewProcSet()
+	for _, p := range readers {
+		if p != owner {
+			r = r.Add(p)
+		}
+	}
+	return Permission{R: r, W: types.NewProcSet(), RW: types.NewProcSet(owner)}
+}
+
+// OpenPermission returns the permission used by the disk model: every process
+// can read and write.
+func OpenPermission(procs []types.ProcID) Permission {
+	return Permission{R: types.NewProcSet(), W: types.NewProcSet(), RW: types.NewProcSet(procs...)}
+}
+
+// CanRead reports whether p may read registers in a region with this
+// permission.
+func (perm Permission) CanRead(p types.ProcID) bool {
+	return perm.R.Contains(p) || perm.RW.Contains(p)
+}
+
+// CanWrite reports whether p may write registers in a region with this
+// permission.
+func (perm Permission) CanWrite(p types.ProcID) bool {
+	return perm.W.Contains(p) || perm.RW.Contains(p)
+}
+
+// Clone returns a deep copy of the permission.
+func (perm Permission) Clone() Permission {
+	return Permission{R: perm.R.Clone(), W: perm.W.Clone(), RW: perm.RW.Clone()}
+}
+
+// Equal reports whether two permissions grant exactly the same accesses.
+func (perm Permission) Equal(other Permission) bool {
+	return perm.R.Equal(other.R) && perm.W.Equal(other.W) && perm.RW.Equal(other.RW)
+}
+
+// String implements fmt.Stringer.
+func (perm Permission) String() string {
+	return "perm{R:" + perm.R.String() + " W:" + perm.W.String() + " RW:" + perm.RW.String() + "}"
+}
+
+// LegalChangeFunc is the paper's legalChange(p, mr, old, new) policy: it
+// decides whether process p may change the permission of region mr from old
+// to new. When the policy returns false the change becomes a no-op and the
+// operation reports types.ErrIllegalPermissionChange.
+type LegalChangeFunc func(p types.ProcID, region types.RegionID, old, new Permission) bool
+
+// StaticPermissions is the legalChange policy under which no change is ever
+// legal — the "static permissions" setting of the paper (and the disk model).
+func StaticPermissions(types.ProcID, types.RegionID, Permission, Permission) bool { return false }
+
+// AnyChangeAllowed is the most permissive policy; used by crash-only
+// protocols such as Protected Memory Paxos where processes are trusted not to
+// abuse permission changes.
+func AnyChangeAllowed(types.ProcID, types.RegionID, Permission, Permission) bool { return true }
+
+// RevokeOnly returns a policy that only allows changes that remove write
+// access (from W or RW) without granting anyone new access. Cheap Quorum
+// installs this policy on the leader's region so that followers can revoke
+// the leader's write permission when panicking, while Byzantine processes
+// cannot grant themselves access.
+func RevokeOnly() LegalChangeFunc {
+	return func(_ types.ProcID, _ types.RegionID, old, new Permission) bool {
+		// No process may appear in the new permission with an access it did
+		// not already have.
+		for _, p := range new.RW.Members() {
+			if !old.RW.Contains(p) {
+				return false
+			}
+		}
+		for _, p := range new.W.Members() {
+			if !old.W.Contains(p) && !old.RW.Contains(p) {
+				return false
+			}
+		}
+		for _, p := range new.R.Members() {
+			if !old.CanRead(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// PolicyByRegion returns a policy that dispatches to a per-region policy by
+// exact region identifier, falling back to fallback (or StaticPermissions if
+// nil) for regions without an entry. Protocol stacks that share one memory
+// pool (for example Fast & Robust, whose Cheap Quorum leader region is the
+// only one with dynamic permissions) use it to compose policies.
+func PolicyByRegion(policies map[types.RegionID]LegalChangeFunc, fallback LegalChangeFunc) LegalChangeFunc {
+	if fallback == nil {
+		fallback = StaticPermissions
+	}
+	return func(p types.ProcID, region types.RegionID, old, new Permission) bool {
+		if policy, ok := policies[region]; ok {
+			return policy(p, region, old, new)
+		}
+		return fallback(p, region, old, new)
+	}
+}
+
+// ExclusiveWriterPolicy returns a policy for Protected Memory Paxos regions:
+// a process may change the permission only to make itself the exclusive
+// writer while leaving every process able to read. This models the
+// "acquire write permission" step of Algorithm 7, where the incoming leader
+// takes over exclusive write access.
+func ExclusiveWriterPolicy(procs []types.ProcID) LegalChangeFunc {
+	all := types.NewProcSet(procs...)
+	return func(p types.ProcID, _ types.RegionID, _ Permission, new Permission) bool {
+		// The requester must become the sole writer.
+		if !new.RW.Equal(types.NewProcSet(p)) {
+			return false
+		}
+		if new.W.Len() != 0 {
+			return false
+		}
+		// Everyone else must retain read access.
+		want := all.Remove(p)
+		return new.R.Equal(want)
+	}
+}

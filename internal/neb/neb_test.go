@@ -1,0 +1,225 @@
+package neb
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/regreg"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/types"
+)
+
+type cluster struct {
+	procs        []types.ProcID
+	pool         *memsim.Pool
+	ring         *sigs.KeyRing
+	broadcasters map[types.ProcID]*Broadcaster
+}
+
+func newCluster(t *testing.T, n, m, fM int) *cluster {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return regreg.DynamicLayout(procs)
+	}, memsim.Options{})
+	ring := sigs.NewKeyRing(procs)
+	c := &cluster{procs: procs, pool: pool, ring: ring, broadcasters: make(map[types.ProcID]*Broadcaster)}
+	for _, p := range procs {
+		store, err := regreg.NewStore(p, pool.Memories(), fM, &delayclock.Clock{})
+		if err != nil {
+			t.Fatalf("NewStore(%v): %v", p, err)
+		}
+		c.broadcasters[p] = New(p, procs, store, ring.SignerFor(p), Options{})
+	}
+	return c
+}
+
+func TestBroadcastDeliveredByAll(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+
+	seq, err := c.broadcasters[1].Broadcast(ctx, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if seq != 1 {
+		t.Fatalf("first broadcast should use seq 1, got %d", seq)
+	}
+	for _, p := range c.procs {
+		d, err := c.broadcasters[p].TryDeliver(ctx, 1)
+		if err != nil {
+			t.Fatalf("TryDeliver at %v: %v", p, err)
+		}
+		if d == nil {
+			t.Fatalf("process %v did not deliver", p)
+		}
+		if d.From != 1 || d.Seq != 1 || string(d.Msg) != "hello" {
+			t.Fatalf("process %v delivered %+v", p, d)
+		}
+	}
+}
+
+func TestDeliveryRequiresBroadcast(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	d, err := c.broadcasters[2].TryDeliver(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("TryDeliver: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("delivered a message that was never broadcast: %+v", d)
+	}
+}
+
+func TestSequentialBroadcastsDeliveredInOrder(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+	msgs := []string{"a", "b", "c"}
+	for _, m := range msgs {
+		if _, err := c.broadcasters[1].Broadcast(ctx, []byte(m)); err != nil {
+			t.Fatalf("Broadcast %q: %v", m, err)
+		}
+	}
+	for i, want := range msgs {
+		d, err := c.broadcasters[3].TryDeliver(ctx, 1)
+		if err != nil {
+			t.Fatalf("TryDeliver %d: %v", i, err)
+		}
+		if d == nil {
+			t.Fatalf("message %d not delivered", i)
+		}
+		if string(d.Msg) != want || d.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d = %+v, want msg %q seq %d", i, d, want, i+1)
+		}
+	}
+}
+
+func TestEquivocationNeverDeliveredInconsistently(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+	byz := c.broadcasters[3]
+
+	// The Byzantine process broadcasts "v1" and lets p1 deliver it.
+	if err := byz.broadcastAt(ctx, 1, []byte("v1")); err != nil {
+		t.Fatalf("byzantine broadcast v1: %v", err)
+	}
+	d1, err := c.broadcasters[1].TryDeliver(ctx, 3)
+	if err != nil {
+		t.Fatalf("TryDeliver at p1: %v", err)
+	}
+	if d1 == nil || string(d1.Msg) != "v1" {
+		t.Fatalf("p1 should deliver v1, got %+v", d1)
+	}
+
+	// It then overwrites its slot for the same sequence number with "v2"
+	// (it owns the region, so the memories accept the write).
+	if err := byz.broadcastAt(ctx, 1, []byte("v2")); err != nil {
+		t.Fatalf("byzantine broadcast v2: %v", err)
+	}
+
+	// p2 must not deliver v2: it sees p1's copy of v1 and detects the
+	// equivocation.
+	d2, err := c.broadcasters[2].TryDeliver(ctx, 3)
+	if err != nil {
+		t.Fatalf("TryDeliver at p2: %v", err)
+	}
+	if d2 != nil && string(d2.Msg) == "v2" {
+		t.Fatalf("agreement violated: p1 delivered v1 but p2 delivered v2")
+	}
+}
+
+func TestForgedValueNeverDelivered(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+
+	// p3 writes a value into its own slot that claims to be from p3 but has
+	// an invalid signature (for example, produced without the private key).
+	store := c.broadcasters[3].store
+	forged := sigs.Forge(3, []byte(`{"seq":1,"msg":"Zm9yZ2Vk"}`))
+	blob, err := json.Marshal(forged)
+	if err != nil {
+		t.Fatalf("marshal forged: %v", err)
+	}
+	if err := store.Write(ctx, slotRegister(1, 3), blob); err != nil {
+		t.Fatalf("write forged: %v", err)
+	}
+	d, err := c.broadcasters[1].TryDeliver(ctx, 3)
+	if err != nil {
+		t.Fatalf("TryDeliver: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("forged value was delivered: %+v", d)
+	}
+}
+
+func TestBackgroundDeliveryLoop(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+
+	receiver := c.broadcasters[2]
+	receiver.Start()
+	defer receiver.Stop()
+
+	if _, err := c.broadcasters[1].Broadcast(ctx, []byte("from-1")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if _, err := c.broadcasters[3].Broadcast(ctx, []byte("from-3")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+
+	got := make(map[types.ProcID]string)
+	deadline := time.After(5 * time.Second)
+	for len(got) < 2 {
+		select {
+		case d := <-receiver.Deliveries():
+			got[d.From] = string(d.Msg)
+		case <-deadline:
+			t.Fatalf("timed out waiting for deliveries, got %v", got)
+		}
+	}
+	if got[1] != "from-1" || got[3] != "from-3" {
+		t.Fatalf("unexpected deliveries: %v", got)
+	}
+}
+
+func TestToleratesMemoryCrashMinority(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	c.pool.CrashQuorumSafe(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if _, err := c.broadcasters[1].Broadcast(ctx, []byte("resilient")); err != nil {
+		t.Fatalf("Broadcast with crashed memory: %v", err)
+	}
+	d, err := c.broadcasters[2].TryDeliver(ctx, 1)
+	if err != nil {
+		t.Fatalf("TryDeliver with crashed memory: %v", err)
+	}
+	if d == nil || string(d.Msg) != "resilient" {
+		t.Fatalf("delivery with crashed memory = %+v", d)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	c := newCluster(t, 3, 3, 1)
+	ctx := context.Background()
+	if _, err := c.broadcasters[1].Broadcast(ctx, []byte("note-to-self")); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	d, err := c.broadcasters[1].TryDeliver(ctx, 1)
+	if err != nil {
+		t.Fatalf("TryDeliver: %v", err)
+	}
+	if d == nil || string(d.Msg) != "note-to-self" {
+		t.Fatalf("self delivery = %+v", d)
+	}
+	if c.broadcasters[1].Self() != 1 {
+		t.Fatalf("Self() = %v", c.broadcasters[1].Self())
+	}
+}

@@ -1,0 +1,53 @@
+package paxos
+
+import (
+	"context"
+	"fmt"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/netsim"
+	"rdmaagreement/internal/types"
+)
+
+// NetTransport is the plain message-passing transport over the simulated
+// network. Messages travel under a configurable kind (so several protocol
+// instances can share one router) and carry the sender's delay stamp.
+type NetTransport struct {
+	ep   *netsim.Endpoint
+	in   <-chan netsim.Message
+	kind string
+}
+
+var _ Transport = (*NetTransport)(nil)
+
+// NewNetTransport builds a transport that sends with the given message kind
+// and receives from the given router subscription.
+func NewNetTransport(ep *netsim.Endpoint, in <-chan netsim.Message, kind string) *NetTransport {
+	return &NetTransport{ep: ep, in: in, kind: kind}
+}
+
+// Send implements Transport.
+func (t *NetTransport) Send(ctx context.Context, to types.ProcID, payload []byte, stamp delayclock.Stamp) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("net transport send: %w", err)
+	}
+	return t.ep.Send(to, t.kind, payload, stamp)
+}
+
+// Broadcast implements Transport.
+func (t *NetTransport) Broadcast(ctx context.Context, payload []byte, stamp delayclock.Stamp) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("net transport broadcast: %w", err)
+	}
+	return t.ep.Broadcast(t.kind, payload, stamp)
+}
+
+// Receive implements Transport.
+func (t *NetTransport) Receive(ctx context.Context) (types.ProcID, []byte, delayclock.Stamp, error) {
+	select {
+	case msg := <-t.in:
+		return msg.From, msg.Payload, msg.Stamp, nil
+	case <-ctx.Done():
+		return types.NoProcess, nil, 0, fmt.Errorf("net transport receive: %w", ctx.Err())
+	}
+}

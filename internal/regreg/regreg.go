@@ -1,0 +1,268 @@
+// Package regreg implements fault-tolerant single-writer multi-reader (SWMR)
+// regular registers on top of fail-prone memories.
+//
+// The paper (§4.1, "Non-equivocation in our model") replicates each register
+// across m ≥ 2f_M + 1 memories: a write stores the value on every memory and
+// waits for a majority of acknowledgements; a read queries every memory,
+// waits for a majority of responses and returns the unique non-⊥ value seen,
+// or ⊥ if the responses do not agree on a single non-⊥ value. Because each
+// register has a single writer, this implements a regular register even when
+// up to f_M memories crash.
+//
+// Registers are grouped per owner into an SWMR region on every memory, so the
+// memories' permission checks enforce the single-writer property even against
+// Byzantine processes.
+package regreg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/types"
+)
+
+// OwnerRegion returns the identifier of the SWMR region that holds the
+// registers owned by owner on every memory.
+func OwnerRegion(owner types.ProcID) types.RegionID {
+	return types.RegionID(fmt.Sprintf("swmr/%d", int(owner)))
+}
+
+// ownerRegister namespaces a register name by its owner so that two owners'
+// registers with the same logical name map to distinct registers on the
+// underlying memories (in the paper's algorithms a register belongs to
+// exactly one region).
+func ownerRegister(owner types.ProcID, reg types.RegisterID) types.RegisterID {
+	return types.RegisterID(fmt.Sprintf("%d/%s", int(owner), reg))
+}
+
+// Layout builds the per-memory region layout for a set of processes: one SWMR
+// region per process containing the registers produced by registersFor. The
+// same layout is installed on every memory of the pool.
+func Layout(procs []types.ProcID, registersFor func(owner types.ProcID) []types.RegisterID) []memsim.RegionSpec {
+	specs := make([]memsim.RegionSpec, 0, len(procs))
+	for _, owner := range procs {
+		regs := registersFor(owner)
+		namespaced := make([]types.RegisterID, 0, len(regs))
+		for _, reg := range regs {
+			namespaced = append(namespaced, ownerRegister(owner, reg))
+		}
+		specs = append(specs, memsim.RegionSpec{
+			ID:        OwnerRegion(owner),
+			Registers: namespaced,
+			Perm:      memsim.SWMRPermission(owner, procs),
+		})
+	}
+	return specs
+}
+
+// DynamicLayout builds a per-memory region layout with one dynamic SWMR
+// region per process: any register name may be used without pre-declaration.
+// Protocols with unbounded register arrays (non-equivocating broadcast's
+// n×M×n slots) use this layout.
+func DynamicLayout(procs []types.ProcID) []memsim.RegionSpec {
+	specs := make([]memsim.RegionSpec, 0, len(procs))
+	for _, owner := range procs {
+		specs = append(specs, memsim.RegionSpec{
+			ID:      OwnerRegion(owner),
+			Perm:    memsim.SWMRPermission(owner, procs),
+			Dynamic: true,
+		})
+	}
+	return specs
+}
+
+// Store is a process's handle on the replicated registers. Each process
+// creates its own Store; the underlying memories are shared.
+type Store struct {
+	self     types.ProcID
+	memories []*memsim.Memory
+	faultyM  int
+	clock    *delayclock.Clock
+}
+
+// NewStore creates a handle for process self over the given memories,
+// tolerating up to faultyMemories crashes. The configuration must satisfy
+// m ≥ 2·faultyMemories + 1.
+func NewStore(self types.ProcID, memories []*memsim.Memory, faultyMemories int, clock *delayclock.Clock) (*Store, error) {
+	if len(memories) < 2*faultyMemories+1 {
+		return nil, fmt.Errorf("%w: %d memories cannot tolerate %d memory crashes (need m ≥ 2f_M+1)",
+			types.ErrInvalidConfig, len(memories), faultyMemories)
+	}
+	if clock == nil {
+		clock = &delayclock.Clock{}
+	}
+	return &Store{self: self, memories: memories, faultyM: faultyMemories, clock: clock}, nil
+}
+
+// Clock returns the delay clock the store merges operation completions into.
+func (s *Store) Clock() *delayclock.Clock { return s.clock }
+
+// Self returns the process this store acts for.
+func (s *Store) Self() types.ProcID { return s.self }
+
+// quorum returns the number of memory responses a replicated operation waits
+// for: all memories minus the tolerated crashes, which is at least a
+// majority.
+func (s *Store) quorum() int { return len(s.memories) - s.faultyM }
+
+type memResult struct {
+	value types.Value
+	stamp delayclock.Stamp
+	err   error
+}
+
+// Write stores v in the register reg owned by the calling process, replicated
+// on a majority of memories. Only the owner can successfully write (the
+// memories' SWMR permissions reject anyone else).
+func (s *Store) Write(ctx context.Context, reg types.RegisterID, v types.Value) error {
+	return s.WriteAs(ctx, s.self, reg, v)
+}
+
+// WriteAs writes to the register reg in owner's region. Correct processes
+// only call it with owner == self; it exists so that tests can demonstrate
+// that the memories reject such writes from other processes.
+func (s *Store) WriteAs(ctx context.Context, owner types.ProcID, reg types.RegisterID, v types.Value) error {
+	region := OwnerRegion(owner)
+	reg = ownerRegister(owner, reg)
+	invoked := s.clock.Now()
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan memResult, len(s.memories))
+	for _, mem := range s.memories {
+		go func(mem *memsim.Memory) {
+			stamp, err := mem.Write(opCtx, s.self, region, reg, v, invoked)
+			results <- memResult{stamp: stamp, err: err}
+		}(mem)
+	}
+
+	acks := 0
+	var firstErr error
+	for i := 0; i < len(s.memories); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				// A nak (permission denied) is a definitive rejection: it will
+				// be identical on every memory, so fail fast.
+				if errors.Is(res.err, types.ErrNak) {
+					return fmt.Errorf("replicated write %s/%s: %w", region, reg, res.err)
+				}
+				continue
+			}
+			s.clock.Merge(res.stamp)
+			acks++
+			if acks >= s.quorum() {
+				return nil
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("replicated write %s/%s: %w", region, reg, ctx.Err())
+		}
+	}
+	if firstErr == nil {
+		firstErr = types.ErrMemoryCrashed
+	}
+	return fmt.Errorf("replicated write %s/%s: quorum of %d not reached: %w", region, reg, s.quorum(), firstErr)
+}
+
+// Read returns the value of the register reg owned by owner. It queries every
+// memory, waits for a majority, and returns the unique non-⊥ value observed
+// or ⊥ if the responses disagree (possible only while a write is in flight,
+// which regular-register semantics allow).
+func (s *Store) Read(ctx context.Context, owner types.ProcID, reg types.RegisterID) (types.Value, error) {
+	region := OwnerRegion(owner)
+	reg = ownerRegister(owner, reg)
+	invoked := s.clock.Now()
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan memResult, len(s.memories))
+	for _, mem := range s.memories {
+		go func(mem *memsim.Memory) {
+			v, stamp, err := mem.Read(opCtx, s.self, region, reg, invoked)
+			results <- memResult{value: v, stamp: stamp, err: err}
+		}(mem)
+	}
+
+	responses := 0
+	var distinct types.Value
+	sawConflict := false
+	var firstErr error
+	for i := 0; i < len(s.memories); i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				if errors.Is(res.err, types.ErrNak) {
+					return nil, fmt.Errorf("replicated read %s/%s: %w", region, reg, res.err)
+				}
+				continue
+			}
+			s.clock.Merge(res.stamp)
+			responses++
+			if !res.value.Bottom() {
+				switch {
+				case distinct.Bottom():
+					distinct = res.value
+				case !distinct.Equal(res.value):
+					sawConflict = true
+				}
+			}
+			if responses >= s.quorum() {
+				if sawConflict {
+					return nil, nil
+				}
+				return distinct, nil
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("replicated read %s/%s: %w", region, reg, ctx.Err())
+		}
+	}
+	if firstErr == nil {
+		firstErr = types.ErrMemoryCrashed
+	}
+	return nil, fmt.Errorf("replicated read %s/%s: quorum of %d not reached: %w", region, reg, s.quorum(), firstErr)
+}
+
+// Registry builds Stores for every process of a cluster over a shared memory
+// pool, so protocol constructors do not repeat the wiring.
+type Registry struct {
+	mu      sync.Mutex
+	stores  map[types.ProcID]*Store
+	mems    []*memsim.Memory
+	faultyM int
+}
+
+// NewRegistry creates a registry over the given memories.
+func NewRegistry(memories []*memsim.Memory, faultyMemories int) *Registry {
+	return &Registry{
+		stores:  make(map[types.ProcID]*Store),
+		mems:    memories,
+		faultyM: faultyMemories,
+	}
+}
+
+// StoreFor returns (creating if needed) the store of process p using the
+// given clock. Subsequent calls for the same process return the original
+// store regardless of clock.
+func (r *Registry) StoreFor(p types.ProcID, clock *delayclock.Clock) (*Store, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.stores[p]; ok {
+		return s, nil
+	}
+	s, err := NewStore(p, r.mems, r.faultyM, clock)
+	if err != nil {
+		return nil, err
+	}
+	r.stores[p] = s
+	return s, nil
+}

@@ -1,0 +1,227 @@
+package regreg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/types"
+)
+
+var testProcs = []types.ProcID{1, 2, 3}
+
+func testRegisters(types.ProcID) []types.RegisterID {
+	return []types.RegisterID{"r1", "r2"}
+}
+
+func newTestPool(m int) *memsim.Pool {
+	layout := func(types.MemID) []memsim.RegionSpec {
+		return Layout(testProcs, testRegisters)
+	}
+	return memsim.NewPool(m, layout, memsim.Options{})
+}
+
+func newStoreOrFail(t *testing.T, p types.ProcID, pool *memsim.Pool, fM int) *Store {
+	t.Helper()
+	s, err := NewStore(p, pool.Memories(), fM, &delayclock.Clock{})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestNewStoreRejectsBadConfig(t *testing.T) {
+	pool := newTestPool(2)
+	if _, err := NewStore(1, pool.Memories(), 1, nil); !errors.Is(err, types.ErrInvalidConfig) {
+		t.Fatalf("2 memories with f_M=1 should be invalid, got %v", err)
+	}
+}
+
+func TestWriteThenReadAcrossProcesses(t *testing.T) {
+	pool := newTestPool(3)
+	writer := newStoreOrFail(t, 1, pool, 1)
+	reader := newStoreOrFail(t, 2, pool, 1)
+	ctx := context.Background()
+
+	if err := writer.Write(ctx, "r1", types.Value("v1")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := reader.Read(ctx, 1, "r1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Equal(types.Value("v1")) {
+		t.Fatalf("read %v, want v1", got)
+	}
+}
+
+func TestReadUnwrittenReturnsBottom(t *testing.T) {
+	pool := newTestPool(3)
+	reader := newStoreOrFail(t, 2, pool, 1)
+	got, err := reader.Read(context.Background(), 1, "r1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Bottom() {
+		t.Fatalf("unwritten register should read ⊥, got %v", got)
+	}
+}
+
+func TestNonOwnerWriteRejected(t *testing.T) {
+	pool := newTestPool(3)
+	intruder := newStoreOrFail(t, 2, pool, 1)
+	err := intruder.WriteAs(context.Background(), 1, "r1", types.Value("forged"))
+	if !errors.Is(err, types.ErrNak) {
+		t.Fatalf("non-owner write should nak, got %v", err)
+	}
+	// The register must remain ⊥ everywhere.
+	reader := newStoreOrFail(t, 3, pool, 1)
+	got, err := reader.Read(context.Background(), 1, "r1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Bottom() {
+		t.Fatalf("rejected write modified the register: %v", got)
+	}
+}
+
+func TestToleratesMinorityMemoryCrashes(t *testing.T) {
+	pool := newTestPool(5)
+	pool.CrashQuorumSafe(2) // f_M = 2, m = 5
+	writer := newStoreOrFail(t, 1, pool, 2)
+	reader := newStoreOrFail(t, 2, pool, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	if err := writer.Write(ctx, "r1", types.Value("survives")); err != nil {
+		t.Fatalf("Write with crashed minority: %v", err)
+	}
+	got, err := reader.Read(ctx, 1, "r1")
+	if err != nil {
+		t.Fatalf("Read with crashed minority: %v", err)
+	}
+	if !got.Equal(types.Value("survives")) {
+		t.Fatalf("read %v, want survives", got)
+	}
+}
+
+func TestMajorityCrashBlocksUntilContext(t *testing.T) {
+	pool := newTestPool(3)
+	pool.CrashQuorumSafe(2) // more than f_M = 1
+	writer := newStoreOrFail(t, 1, pool, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := writer.Write(ctx, "r1", types.Value("stuck"))
+	if err == nil {
+		t.Fatalf("write should not succeed without a quorum of live memories")
+	}
+}
+
+func TestDelayAccounting(t *testing.T) {
+	pool := newTestPool(3)
+	writer := newStoreOrFail(t, 1, pool, 1)
+	ctx := context.Background()
+	if err := writer.Write(ctx, "r1", types.Value("a")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := writer.Clock().Now(); got != 2 {
+		t.Fatalf("one replicated write should cost 2 delays (parallel round trips), got %v", got)
+	}
+	if _, err := writer.Read(ctx, 1, "r1"); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := writer.Clock().Now(); got != 4 {
+		t.Fatalf("write+read should cost 4 delays, got %v", got)
+	}
+}
+
+func TestReadSeesLatestOwnerWrite(t *testing.T) {
+	pool := newTestPool(3)
+	writer := newStoreOrFail(t, 1, pool, 1)
+	reader := newStoreOrFail(t, 3, pool, 1)
+	ctx := context.Background()
+	for i, v := range []string{"a", "b", "c"} {
+		if err := writer.Write(ctx, "r2", types.Value(v)); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	got, err := reader.Read(ctx, 1, "r2")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Equal(types.Value("c")) {
+		t.Fatalf("read %v, want the latest value c", got)
+	}
+}
+
+func TestConflictingReplicasReadAsBottom(t *testing.T) {
+	// Simulate a partially completed write by writing different values
+	// directly to individual memories (bypassing the store), then check the
+	// replicated read degrades to ⊥ rather than inventing a value.
+	pool := newTestPool(3)
+	ctx := context.Background()
+	mems := pool.Memories()
+	if _, err := mems[0].Write(ctx, 1, OwnerRegion(1), ownerRegister(1, "r1"), types.Value("x"), 0); err != nil {
+		t.Fatalf("direct write: %v", err)
+	}
+	if _, err := mems[1].Write(ctx, 1, OwnerRegion(1), ownerRegister(1, "r1"), types.Value("y"), 0); err != nil {
+		t.Fatalf("direct write: %v", err)
+	}
+	reader := newStoreOrFail(t, 2, pool, 1)
+	// The read may legitimately return x, y or ⊥ depending on which majority
+	// answers first; what it must never do is fail or return a value that was
+	// never written.
+	got, err := reader.Read(ctx, 1, "r1")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Bottom() && !got.Equal(types.Value("x")) && !got.Equal(types.Value("y")) {
+		t.Fatalf("read invented value %v", got)
+	}
+}
+
+func TestRegistrySharesStores(t *testing.T) {
+	pool := newTestPool(3)
+	reg := NewRegistry(pool.Memories(), 1)
+	a, err := reg.StoreFor(1, &delayclock.Clock{})
+	if err != nil {
+		t.Fatalf("StoreFor: %v", err)
+	}
+	b, err := reg.StoreFor(1, &delayclock.Clock{})
+	if err != nil {
+		t.Fatalf("StoreFor: %v", err)
+	}
+	if a != b {
+		t.Fatalf("registry should cache stores per process")
+	}
+	if a.Self() != 1 {
+		t.Fatalf("store self = %v", a.Self())
+	}
+	if _, err := reg.StoreFor(2, nil); err != nil {
+		t.Fatalf("StoreFor with nil clock: %v", err)
+	}
+}
+
+func TestLayoutPermissions(t *testing.T) {
+	specs := Layout(testProcs, testRegisters)
+	if len(specs) != len(testProcs) {
+		t.Fatalf("layout should produce one region per process")
+	}
+	for i, spec := range specs {
+		owner := testProcs[i]
+		if !spec.Perm.CanWrite(owner) {
+			t.Fatalf("owner %v cannot write its own region", owner)
+		}
+		for _, other := range testProcs {
+			if other != owner && spec.Perm.CanWrite(other) {
+				t.Fatalf("process %v can write region of %v", other, owner)
+			}
+			if !spec.Perm.CanRead(other) {
+				t.Fatalf("process %v cannot read region of %v", other, owner)
+			}
+		}
+	}
+}

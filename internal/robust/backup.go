@@ -1,0 +1,144 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/neb"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/paxos"
+	"rdmaagreement/internal/regreg"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/trustedmsg"
+	"rdmaagreement/internal/types"
+)
+
+// Config configures a Robust Backup (and Preferential Paxos) participant.
+type Config struct {
+	// Self is this process.
+	Self types.ProcID
+	// Procs is the full process set; it must satisfy n ≥ 2·FaultyProcesses+1.
+	Procs []types.ProcID
+	// FaultyProcesses is f_P, the maximum number of Byzantine processes.
+	FaultyProcesses int
+	// FaultyMemories is f_M, the maximum number of memory crashes; the
+	// memory pool must satisfy m ≥ 2·FaultyMemories+1.
+	FaultyMemories int
+	// Memories is the shared memory pool.
+	Memories []*memsim.Memory
+	// Ring holds every process's signing keys.
+	Ring *sigs.KeyRing
+	// Oracle is the Ω leader oracle used for liveness of the embedded Paxos.
+	// Nil makes every process willing to lead (safe, but may livelock under
+	// contention).
+	Oracle omega.Oracle
+	// RoundTimeout is the embedded Paxos round timeout. Zero means 200ms
+	// (trusted rounds are slower than plain network rounds).
+	RoundTimeout time.Duration
+	// Clock is the causal delay clock; nil allocates a private one.
+	Clock *delayclock.Clock
+	// Recorder receives trace events; may be nil.
+	Recorder *trace.Recorder
+}
+
+// Validate checks the resilience bounds of the configuration.
+func (c *Config) Validate() error {
+	if len(c.Procs) < 2*c.FaultyProcesses+1 {
+		return fmt.Errorf("%w: n=%d processes cannot tolerate f_P=%d Byzantine failures (need n ≥ 2f_P+1)",
+			types.ErrInvalidConfig, len(c.Procs), c.FaultyProcesses)
+	}
+	if len(c.Memories) < 2*c.FaultyMemories+1 {
+		return fmt.Errorf("%w: m=%d memories cannot tolerate f_M=%d crashes (need m ≥ 2f_M+1)",
+			types.ErrInvalidConfig, len(c.Memories), c.FaultyMemories)
+	}
+	if c.Ring == nil {
+		return fmt.Errorf("%w: a key ring is required", types.ErrInvalidConfig)
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 200 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = &delayclock.Clock{}
+	}
+}
+
+// Backup is one process's Robust Backup(Paxos) participant: weak Byzantine
+// agreement with n ≥ 2f_P+1 processes and m ≥ 2f_M+1 memories.
+type Backup struct {
+	cfg  Config
+	dmx  *demux
+	node *paxos.Node
+}
+
+// NewBackup wires the full stack for one process: replicated SWMR registers →
+// non-equivocating broadcast → T-send/T-receive → Paxos.
+func NewBackup(cfg Config) (*Backup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("robust backup: %w", err)
+	}
+	cfg.applyDefaults()
+
+	store, err := regreg.NewStore(cfg.Self, cfg.Memories, cfg.FaultyMemories, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("robust backup: %w", err)
+	}
+	signer := cfg.Ring.SignerFor(cfg.Self)
+	bcast := neb.New(cfg.Self, cfg.Procs, store, signer, neb.Options{Recorder: cfg.Recorder})
+	tep := trustedmsg.New(cfg.Self, bcast, signer, trustedmsg.Options{})
+	dmx := newDemux(tep)
+
+	node := paxos.NewNode(paxos.Config{
+		Self:         cfg.Self,
+		Procs:        cfg.Procs,
+		Oracle:       cfg.Oracle,
+		RoundTimeout: cfg.RoundTimeout,
+		Clock:        cfg.Clock,
+		Recorder:     cfg.Recorder,
+	}, newTrustedTransport(dmx))
+
+	return &Backup{cfg: cfg, dmx: dmx, node: node}, nil
+}
+
+// Start launches the trusted messaging stack and the Paxos node.
+func (b *Backup) Start() {
+	b.dmx.start()
+	b.node.Start()
+}
+
+// Stop terminates all background goroutines.
+func (b *Backup) Stop() {
+	b.node.Stop()
+	b.dmx.stop()
+}
+
+// Clock returns the process's delay clock.
+func (b *Backup) Clock() *delayclock.Clock { return b.cfg.Clock }
+
+// Propose proposes v and returns the decided value.
+func (b *Backup) Propose(ctx context.Context, v types.Value) (types.Value, error) {
+	return b.node.Propose(ctx, v)
+}
+
+// WaitDecision blocks until this process learns the decision.
+func (b *Backup) WaitDecision(ctx context.Context) (types.Value, error) {
+	return b.node.WaitDecision(ctx)
+}
+
+// Decided returns the decided value, if any.
+func (b *Backup) Decided() (types.Value, bool) { return b.node.Decided() }
+
+// demuxHandle exposes the demux to Preferential Paxos (same package).
+func (b *Backup) demuxHandle() *demux { return b.dmx }
+
+// record is a convenience for trace events.
+func (b *Backup) record(kind trace.Kind, v types.Value, detail string, args ...any) {
+	b.cfg.Recorder.Record(b.cfg.Self, kind, v, b.cfg.Clock.Now(), detail, args...)
+}

@@ -1,0 +1,126 @@
+package robust
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"rdmaagreement/internal/trace"
+	"rdmaagreement/internal/trustedmsg"
+	"rdmaagreement/internal/types"
+)
+
+// Priority orders the inputs of Preferential Paxos. Larger values are higher
+// priority. Fast & Robust uses the three levels of Definition 3.
+type Priority int
+
+// Priority levels of Definition 3 (Fast & Robust).
+const (
+	// PriorityBottom is the default priority (set B in the paper).
+	PriorityBottom Priority = 0
+	// PriorityLeaderSigned marks abort values carrying the leader's
+	// signature (set M).
+	PriorityLeaderSigned Priority = 1
+	// PriorityUnanimity marks abort values carrying a correct unanimity
+	// proof (set T).
+	PriorityUnanimity Priority = 2
+)
+
+// PrioritizedValue is an input to Preferential Paxos.
+type PrioritizedValue struct {
+	Value    types.Value `json:"value"`
+	Priority Priority    `json:"priority"`
+}
+
+// better reports whether a should be preferred over b.
+func (a PrioritizedValue) better(b PrioritizedValue) bool {
+	return a.Priority > b.Priority
+}
+
+// PreferentialPaxos implements Algorithm 8: a set-up phase in which each
+// process adopts the highest-priority value among n − f_P received inputs,
+// followed by Robust Backup(Paxos) on the adopted values.
+//
+// Its key property (Lemma 4.7) is that the decision is always one of the
+// f_P + 1 highest-priority inputs; in particular, if at least f_P + 1 correct
+// processes share the highest-priority input value, that value is decided.
+type PreferentialPaxos struct {
+	backup *Backup
+	setup  <-chan trustedmsg.Received
+}
+
+// NewPreferentialPaxos creates a Preferential Paxos participant on top of a
+// fully wired Robust Backup.
+func NewPreferentialPaxos(cfg Config) (*PreferentialPaxos, error) {
+	backup, err := NewBackup(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("preferential paxos: %w", err)
+	}
+	return &PreferentialPaxos{
+		backup: backup,
+		setup:  backup.demuxHandle().subscribe(channelSetup),
+	}, nil
+}
+
+// Start launches the underlying stack.
+func (p *PreferentialPaxos) Start() { p.backup.Start() }
+
+// Stop terminates the underlying stack.
+func (p *PreferentialPaxos) Stop() { p.backup.Stop() }
+
+// Backup exposes the underlying Robust Backup (used by Fast & Robust to reuse
+// the same stack).
+func (p *PreferentialPaxos) Backup() *Backup { return p.backup }
+
+// Propose runs the set-up phase with the given prioritized input and then
+// proposes the adopted value to Robust Backup(Paxos), returning the decision.
+func (p *PreferentialPaxos) Propose(ctx context.Context, input PrioritizedValue) (types.Value, error) {
+	adopted, err := p.setupPhase(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	p.backup.record(trace.KindInfo, adopted.Value, "preferential paxos adopted priority %d", adopted.Priority)
+	return p.backup.Propose(ctx, adopted.Value)
+}
+
+// WaitDecision blocks until this process learns the decision.
+func (p *PreferentialPaxos) WaitDecision(ctx context.Context) (types.Value, error) {
+	return p.backup.WaitDecision(ctx)
+}
+
+// setupPhase T-sends the process's own input to everyone, waits for inputs
+// from n − f_P distinct processes (its own included), and returns the
+// highest-priority value seen.
+func (p *PreferentialPaxos) setupPhase(ctx context.Context, input PrioritizedValue) (PrioritizedValue, error) {
+	cfg := p.backup.cfg
+	payload, err := json.Marshal(input)
+	if err != nil {
+		return PrioritizedValue{}, fmt.Errorf("preferential paxos setup: encode: %w", err)
+	}
+	if err := p.backup.demuxHandle().send(ctx, channelSetup, trustedmsg.BroadcastTo, payload); err != nil {
+		return PrioritizedValue{}, fmt.Errorf("preferential paxos setup: %w", err)
+	}
+
+	need := len(cfg.Procs) - cfg.FaultyProcesses
+	seen := make(map[types.ProcID]PrioritizedValue, need)
+	best := input
+	for len(seen) < need {
+		select {
+		case rec := <-p.setup:
+			var pv PrioritizedValue
+			if err := json.Unmarshal(rec.Msg, &pv); err != nil {
+				continue
+			}
+			if _, dup := seen[rec.From]; dup {
+				continue
+			}
+			seen[rec.From] = pv
+			if pv.better(best) {
+				best = pv
+			}
+		case <-ctx.Done():
+			return PrioritizedValue{}, fmt.Errorf("preferential paxos setup at %s: %w", cfg.Self, ctx.Err())
+		}
+	}
+	return best, nil
+}

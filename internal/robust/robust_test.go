@@ -1,0 +1,263 @@
+package robust
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/omega"
+	"rdmaagreement/internal/regreg"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/types"
+)
+
+type fixture struct {
+	procs  []types.ProcID
+	pool   *memsim.Pool
+	ring   *sigs.KeyRing
+	oracle *omega.Static
+}
+
+func newFixture(t *testing.T, n, m int) *fixture {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(m, func(types.MemID) []memsim.RegionSpec {
+		return regreg.DynamicLayout(procs)
+	}, memsim.Options{})
+	return &fixture{
+		procs:  procs,
+		pool:   pool,
+		ring:   sigs.NewKeyRing(procs),
+		oracle: omega.NewStatic(1),
+	}
+}
+
+func (f *fixture) config(self types.ProcID, fP, fM int) Config {
+	return Config{
+		Self:            self,
+		Procs:           f.procs,
+		FaultyProcesses: fP,
+		FaultyMemories:  fM,
+		Memories:        f.pool.Memories(),
+		Ring:            f.ring,
+		Oracle:          f.oracle,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	cfg := f.config(1, 1, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := f.config(1, 2, 1) // n=3 cannot tolerate 2 Byzantine processes
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("n=3, f_P=2 should be rejected")
+	}
+	badMem := f.config(1, 1, 2) // m=3 cannot tolerate 2 memory crashes
+	if err := badMem.Validate(); err == nil {
+		t.Fatalf("m=3, f_M=2 should be rejected")
+	}
+	noRing := f.config(1, 1, 1)
+	noRing.Ring = nil
+	if err := noRing.Validate(); err == nil {
+		t.Fatalf("missing key ring should be rejected")
+	}
+}
+
+func TestBackupDecidesWithAllCorrect(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	backups := make(map[types.ProcID]*Backup)
+	for _, p := range f.procs {
+		b, err := NewBackup(f.config(p, 1, 1))
+		if err != nil {
+			t.Fatalf("NewBackup(%v): %v", p, err)
+		}
+		b.Start()
+		backups[p] = b
+	}
+	t.Cleanup(func() {
+		for _, b := range backups {
+			b.Stop()
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make(map[types.ProcID]types.Value)
+	var mu sync.Mutex
+	inputs := map[types.ProcID]types.Value{1: types.Value("A"), 2: types.Value("B"), 3: types.Value("C")}
+	for _, p := range f.procs {
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			v, err := backups[p].Propose(ctx, inputs[p])
+			if err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			results[p] = v
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	// Agreement: all correct processes decide the same value.
+	var first types.Value
+	for p, v := range results {
+		if first == nil {
+			first = v
+			continue
+		}
+		if !v.Equal(first) {
+			t.Fatalf("agreement violated: %v decided %v, expected %v", p, v, first)
+		}
+	}
+	// Validity (no faulty processes): the decision is some process's input.
+	valid := false
+	for _, in := range inputs {
+		if first.Equal(in) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decision %v is not the input of any process", first)
+	}
+}
+
+func TestBackupToleratesSilentProcessAndCrashedMemory(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	// One memory crashes (f_M = 1) and one process is silent (f_P = 1,
+	// Byzantine behaviour restricted to a crash by the construction).
+	f.pool.CrashQuorumSafe(1)
+
+	backups := make(map[types.ProcID]*Backup)
+	participants := []types.ProcID{1, 2} // p3 never participates
+	for _, p := range participants {
+		b, err := NewBackup(f.config(p, 1, 1))
+		if err != nil {
+			t.Fatalf("NewBackup(%v): %v", p, err)
+		}
+		b.Start()
+		backups[p] = b
+	}
+	t.Cleanup(func() {
+		for _, b := range backups {
+			b.Stop()
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make(map[types.ProcID]types.Value)
+	var mu sync.Mutex
+	for _, p := range participants {
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			v, err := backups[p].Propose(ctx, types.Value("resilient"))
+			if err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			results[p] = v
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	for p, v := range results {
+		if !v.Equal(types.Value("resilient")) {
+			t.Fatalf("process %v decided %v", p, v)
+		}
+	}
+}
+
+func TestPreferentialPaxosPriorityDecision(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	nodes := make(map[types.ProcID]*PreferentialPaxos)
+	for _, p := range f.procs {
+		pp, err := NewPreferentialPaxos(f.config(p, 1, 1))
+		if err != nil {
+			t.Fatalf("NewPreferentialPaxos(%v): %v", p, err)
+		}
+		pp.Start()
+		nodes[p] = pp
+	}
+	t.Cleanup(func() {
+		for _, pp := range nodes {
+			pp.Stop()
+		}
+	})
+
+	// f_P+1 = 2 processes hold the highest-priority value "fast"; the third
+	// holds a lower-priority value. Lemma 4.7 requires the decision to be
+	// "fast".
+	inputs := map[types.ProcID]PrioritizedValue{
+		1: {Value: types.Value("fast"), Priority: PriorityUnanimity},
+		2: {Value: types.Value("fast"), Priority: PriorityUnanimity},
+		3: {Value: types.Value("slow"), Priority: PriorityBottom},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make(map[types.ProcID]types.Value)
+	var mu sync.Mutex
+	for _, p := range f.procs {
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			v, err := nodes[p].Propose(ctx, inputs[p])
+			if err != nil {
+				t.Errorf("Propose at %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			results[p] = v
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	for p, v := range results {
+		if !v.Equal(types.Value("fast")) {
+			t.Fatalf("process %v decided %v, want the highest-priority value", p, v)
+		}
+	}
+}
+
+func TestPrioritizedValueOrdering(t *testing.T) {
+	top := PrioritizedValue{Value: types.Value("t"), Priority: PriorityUnanimity}
+	mid := PrioritizedValue{Value: types.Value("m"), Priority: PriorityLeaderSigned}
+	bot := PrioritizedValue{Value: types.Value("b"), Priority: PriorityBottom}
+	if !top.better(mid) || !mid.better(bot) || !top.better(bot) {
+		t.Fatalf("priority ordering broken")
+	}
+	if bot.better(top) || mid.better(top) {
+		t.Fatalf("priority ordering not antisymmetric")
+	}
+	if top.better(top) {
+		t.Fatalf("a value is not better than itself")
+	}
+}
+
+func TestBackupRejectsInvalidConfig(t *testing.T) {
+	f := newFixture(t, 3, 3)
+	if _, err := NewBackup(f.config(1, 2, 1)); err == nil {
+		t.Fatalf("NewBackup should reject n < 2f_P+1")
+	}
+	if _, err := NewPreferentialPaxos(f.config(1, 2, 1)); err == nil {
+		t.Fatalf("NewPreferentialPaxos should reject n < 2f_P+1")
+	}
+}

@@ -1,0 +1,158 @@
+// Package robust implements the paper's Robust Backup construction (§4.1) and
+// Preferential Paxos (§4.3, Algorithm 8).
+//
+// Robust Backup(A) takes a crash-tolerant message-passing consensus algorithm
+// A — here, classic Paxos — and replaces its sends and receives with the
+// trusted T-send/T-receive primitives built from non-equivocating broadcast
+// and signatures. Following Clement et al., this yields weak Byzantine
+// agreement with only n ≥ 2f_P + 1 processes; the replicated-register layer
+// underneath additionally tolerates f_M < m/2 memory crashes.
+//
+// Preferential Paxos wraps Robust Backup(Paxos) with a set-up phase in which
+// every process T-sends its (value, priority) pair, waits for n − f_P such
+// pairs, and adopts the highest-priority value seen. This guarantees that the
+// decision is always one of the f_P + 1 highest-priority inputs, which is the
+// property Fast & Robust needs to glue the fast path to the backup path.
+package robust
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/paxos"
+	"rdmaagreement/internal/trustedmsg"
+	"rdmaagreement/internal/types"
+)
+
+// channelEnvelope wraps every payload sent through the shared trusted
+// endpoint with a logical channel name, so that the set-up phase and the
+// Paxos phase of Preferential Paxos can share one endpoint without seeing
+// each other's messages.
+type channelEnvelope struct {
+	Channel string `json:"channel"`
+	Payload []byte `json:"payload"`
+}
+
+// Channel names used by this package.
+const (
+	channelPaxos = "paxos"
+	channelSetup = "setup"
+)
+
+// demux fans the messages T-received on one endpoint out to per-channel
+// subscribers.
+type demux struct {
+	ep *trustedmsg.Endpoint
+
+	mu   sync.Mutex
+	subs map[string]chan trustedmsg.Received
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+func newDemux(ep *trustedmsg.Endpoint) *demux {
+	return &demux{ep: ep, subs: make(map[string]chan trustedmsg.Received)}
+}
+
+// subscribe returns the channel of messages for a logical channel name.
+func (d *demux) subscribe(channel string) <-chan trustedmsg.Received {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ch, ok := d.subs[channel]; ok {
+		return ch
+	}
+	ch := make(chan trustedmsg.Received, 1024)
+	d.subs[channel] = ch
+	return ch
+}
+
+// send T-sends payload on the logical channel to the destination process (or
+// every process when to is trustedmsg.BroadcastTo).
+func (d *demux) send(ctx context.Context, channel string, to types.ProcID, payload []byte) error {
+	blob, err := json.Marshal(channelEnvelope{Channel: channel, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("demux send: encode: %w", err)
+	}
+	return d.ep.TSend(ctx, to, blob)
+}
+
+// start launches the trusted endpoint and the demux pump.
+func (d *demux) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	d.cancel = cancel
+	d.ep.Start()
+	d.wg.Add(1)
+	go d.pump(ctx)
+}
+
+// stop terminates the pump and the trusted endpoint.
+func (d *demux) stop() {
+	if d.cancel != nil {
+		d.cancel()
+	}
+	d.ep.Stop()
+	d.wg.Wait()
+}
+
+func (d *demux) pump(ctx context.Context) {
+	defer d.wg.Done()
+	for {
+		rec, err := d.ep.Receive(ctx)
+		if err != nil {
+			return
+		}
+		var env channelEnvelope
+		if err := json.Unmarshal(rec.Msg, &env); err != nil {
+			continue
+		}
+		d.mu.Lock()
+		ch, ok := d.subs[env.Channel]
+		d.mu.Unlock()
+		if !ok {
+			continue
+		}
+		rec.Msg = env.Payload
+		select {
+		case ch <- rec:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// trustedTransport adapts a demux channel to the paxos.Transport interface,
+// turning the plain sends and receives of Paxos into T-sends and T-receives.
+type trustedTransport struct {
+	d  *demux
+	in <-chan trustedmsg.Received
+}
+
+var _ paxos.Transport = (*trustedTransport)(nil)
+
+func newTrustedTransport(d *demux) *trustedTransport {
+	return &trustedTransport{d: d, in: d.subscribe(channelPaxos)}
+}
+
+// Send implements paxos.Transport.
+func (t *trustedTransport) Send(ctx context.Context, to types.ProcID, payload []byte, _ delayclock.Stamp) error {
+	return t.d.send(ctx, channelPaxos, to, payload)
+}
+
+// Broadcast implements paxos.Transport.
+func (t *trustedTransport) Broadcast(ctx context.Context, payload []byte, _ delayclock.Stamp) error {
+	return t.d.send(ctx, channelPaxos, trustedmsg.BroadcastTo, payload)
+}
+
+// Receive implements paxos.Transport.
+func (t *trustedTransport) Receive(ctx context.Context) (types.ProcID, []byte, delayclock.Stamp, error) {
+	select {
+	case rec := <-t.in:
+		return rec.From, rec.Msg, rec.Stamp, nil
+	case <-ctx.Done():
+		return types.NoProcess, nil, 0, fmt.Errorf("trusted transport receive: %w", ctx.Err())
+	}
+}

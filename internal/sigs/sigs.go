@@ -1,0 +1,197 @@
+// Package sigs provides the unforgeable-signature primitive assumed by the
+// paper: sign(v) and sValid(p, v).
+//
+// Signatures are Ed25519 (standard library crypto/ed25519). A KeyRing holds
+// one key pair per process; correct processes sign with their private key and
+// anybody holding the ring can verify which process signed a value. Byzantine
+// processes in the simulator are given their own private key only, so they
+// cannot forge signatures of correct processes — matching the model's
+// assumption.
+package sigs
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rdmaagreement/internal/types"
+)
+
+// Signed is a value together with the identity of its signer and the
+// signature bytes. Signed values are what protocols place in shared memory
+// and in messages.
+type Signed struct {
+	Signer    types.ProcID `json:"signer"`
+	Payload   []byte       `json:"payload"`
+	Signature []byte       `json:"signature"`
+}
+
+// Clone returns a deep copy of the signed value.
+func (s Signed) Clone() Signed {
+	out := Signed{Signer: s.Signer}
+	out.Payload = append([]byte(nil), s.Payload...)
+	out.Signature = append([]byte(nil), s.Signature...)
+	return out
+}
+
+// Equal reports whether two signed values are identical (same signer, payload
+// and signature bytes).
+func (s Signed) Equal(other Signed) bool {
+	if s.Signer != other.Signer || len(s.Payload) != len(other.Payload) || len(s.Signature) != len(other.Signature) {
+		return false
+	}
+	for i := range s.Payload {
+		if s.Payload[i] != other.Payload[i] {
+			return false
+		}
+	}
+	for i := range s.Signature {
+		if s.Signature[i] != other.Signature[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the signed value is the zero value (no signature).
+func (s Signed) IsZero() bool {
+	return s.Signer == types.NoProcess && len(s.Payload) == 0 && len(s.Signature) == 0
+}
+
+// String implements fmt.Stringer.
+func (s Signed) String() string {
+	return fmt.Sprintf("signed{%s, %s}", s.Signer, types.Value(s.Payload))
+}
+
+// Counters tally signing and verification operations. Experiment E6 uses them
+// to reproduce the paper's "one signature on the fast path" claim.
+type Counters struct {
+	signs   atomic.Int64
+	verifys atomic.Int64
+}
+
+// Signs returns the number of Sign calls recorded.
+func (c *Counters) Signs() int64 { return c.signs.Load() }
+
+// Verifications returns the number of Verify calls recorded.
+func (c *Counters) Verifications() int64 { return c.verifys.Load() }
+
+// Reset zeroes both counters.
+func (c *Counters) Reset() {
+	c.signs.Store(0)
+	c.verifys.Store(0)
+}
+
+// KeyRing holds the Ed25519 key pairs of every process in the system and the
+// shared signature counters. A KeyRing is safe for concurrent use.
+type KeyRing struct {
+	mu       sync.RWMutex
+	public   map[types.ProcID]ed25519.PublicKey
+	private  map[types.ProcID]ed25519.PrivateKey
+	counters Counters
+}
+
+// NewKeyRing creates a ring with deterministic key pairs for the given
+// processes. Determinism (keys derived from the process identifier) keeps
+// test failures reproducible; unforgeability in the simulation only requires
+// that Byzantine node implementations never call Sign on behalf of others,
+// which Signer handles enforce.
+func NewKeyRing(procs []types.ProcID) *KeyRing {
+	kr := &KeyRing{
+		public:  make(map[types.ProcID]ed25519.PublicKey, len(procs)),
+		private: make(map[types.ProcID]ed25519.PrivateKey, len(procs)),
+	}
+	for _, p := range procs {
+		seed := deterministicSeed(p)
+		priv := ed25519.NewKeyFromSeed(seed)
+		kr.private[p] = priv
+		kr.public[p] = priv.Public().(ed25519.PublicKey)
+	}
+	return kr
+}
+
+func deterministicSeed(p types.ProcID) []byte {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(p))
+	copy(buf[8:], "rdma-agree")
+	sum := sha256.Sum256(buf[:])
+	return sum[:ed25519.SeedSize]
+}
+
+// Counters returns the shared signature-operation counters.
+func (kr *KeyRing) Counters() *Counters { return &kr.counters }
+
+// Processes returns the identifiers known to the ring.
+func (kr *KeyRing) Processes() []types.ProcID {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	out := make([]types.ProcID, 0, len(kr.public))
+	for p := range kr.public {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Sign signs payload on behalf of process p. It returns an error if p has no
+// key in the ring.
+func (kr *KeyRing) Sign(p types.ProcID, payload []byte) (Signed, error) {
+	kr.mu.RLock()
+	priv, ok := kr.private[p]
+	kr.mu.RUnlock()
+	if !ok {
+		return Signed{}, fmt.Errorf("sign: %w: %s", types.ErrUnknownProcess, p)
+	}
+	kr.counters.signs.Add(1)
+	sig := ed25519.Sign(priv, payload)
+	return Signed{Signer: p, Payload: append([]byte(nil), payload...), Signature: sig}, nil
+}
+
+// Valid reports whether s carries a valid signature by claimed. It implements
+// the paper's sValid(p, v).
+func (kr *KeyRing) Valid(claimed types.ProcID, s Signed) bool {
+	if s.Signer != claimed {
+		return false
+	}
+	kr.mu.RLock()
+	pub, ok := kr.public[claimed]
+	kr.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	kr.counters.verifys.Add(1)
+	return ed25519.Verify(pub, s.Payload, s.Signature)
+}
+
+// Signer is a capability handle that lets exactly one process sign values. It
+// is what node implementations receive, so a Byzantine node cannot sign on
+// behalf of another process (it simply never obtains the other Signer).
+type Signer struct {
+	ring *KeyRing
+	id   types.ProcID
+}
+
+// SignerFor returns the signing handle of process p.
+func (kr *KeyRing) SignerFor(p types.ProcID) *Signer { return &Signer{ring: kr, id: p} }
+
+// ID returns the process this handle signs for.
+func (s *Signer) ID() types.ProcID { return s.id }
+
+// Sign signs payload as the handle's process.
+func (s *Signer) Sign(payload []byte) (Signed, error) { return s.ring.Sign(s.id, payload) }
+
+// Valid verifies that v was signed by claimed.
+func (s *Signer) Valid(claimed types.ProcID, v Signed) bool { return s.ring.Valid(claimed, v) }
+
+// Forge produces a Signed value with an intentionally invalid signature that
+// claims to come from victim. Byzantine node implementations use it in tests
+// to demonstrate that forgeries are rejected.
+func Forge(victim types.ProcID, payload []byte) Signed {
+	return Signed{
+		Signer:    victim,
+		Payload:   append([]byte(nil), payload...),
+		Signature: make([]byte, ed25519.SignatureSize),
+	}
+}

@@ -1,0 +1,180 @@
+package sigs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdmaagreement/internal/types"
+)
+
+func newTestRing() *KeyRing {
+	return NewKeyRing([]types.ProcID{1, 2, 3})
+}
+
+func TestSignAndValid(t *testing.T) {
+	kr := newTestRing()
+	signed, err := kr.Sign(1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !kr.Valid(1, signed) {
+		t.Fatalf("valid signature rejected")
+	}
+}
+
+func TestValidRejectsWrongClaimedSigner(t *testing.T) {
+	kr := newTestRing()
+	signed, err := kr.Sign(1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if kr.Valid(2, signed) {
+		t.Fatalf("signature by p1 accepted as p2")
+	}
+}
+
+func TestValidRejectsTamperedPayload(t *testing.T) {
+	kr := newTestRing()
+	signed, err := kr.Sign(1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	signed.Payload[0] ^= 0xff
+	if kr.Valid(1, signed) {
+		t.Fatalf("tampered payload accepted")
+	}
+}
+
+func TestValidRejectsForgery(t *testing.T) {
+	kr := newTestRing()
+	forged := Forge(1, []byte("evil"))
+	if kr.Valid(1, forged) {
+		t.Fatalf("forged signature accepted")
+	}
+}
+
+func TestSignUnknownProcess(t *testing.T) {
+	kr := newTestRing()
+	if _, err := kr.Sign(99, []byte("x")); err == nil {
+		t.Fatalf("expected error signing for unknown process")
+	}
+}
+
+func TestValidUnknownProcess(t *testing.T) {
+	kr := newTestRing()
+	signed, err := kr.Sign(1, []byte("x"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	signed.Signer = 99
+	if kr.Valid(99, signed) {
+		t.Fatalf("signature attributed to unknown process accepted")
+	}
+}
+
+func TestSignerHandle(t *testing.T) {
+	kr := newTestRing()
+	signer := kr.SignerFor(2)
+	if signer.ID() != 2 {
+		t.Fatalf("signer id = %v", signer.ID())
+	}
+	signed, err := signer.Sign([]byte("payload"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if signed.Signer != 2 {
+		t.Fatalf("signed.Signer = %v", signed.Signer)
+	}
+	if !signer.Valid(2, signed) {
+		t.Fatalf("signer rejects its own signature")
+	}
+	if signer.Valid(1, signed) {
+		t.Fatalf("signature misattributed")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	kr := newTestRing()
+	c := kr.Counters()
+	c.Reset()
+	signed, err := kr.Sign(1, []byte("x"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	kr.Valid(1, signed)
+	kr.Valid(1, signed)
+	if c.Signs() != 1 {
+		t.Fatalf("signs = %d, want 1", c.Signs())
+	}
+	if c.Verifications() != 2 {
+		t.Fatalf("verifications = %d, want 2", c.Verifications())
+	}
+	c.Reset()
+	if c.Signs() != 0 || c.Verifications() != 0 {
+		t.Fatalf("reset did not zero counters")
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a := NewKeyRing([]types.ProcID{1, 2})
+	b := NewKeyRing([]types.ProcID{1, 2})
+	sa, err := a.Sign(1, []byte("same"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !b.Valid(1, sa) {
+		t.Fatalf("rings with same processes should produce interoperable keys")
+	}
+}
+
+func TestSignedCloneAndEqual(t *testing.T) {
+	kr := newTestRing()
+	s, err := kr.Sign(1, []byte("abc"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatalf("clone not equal to original")
+	}
+	c.Payload[0] = 'z'
+	if c.Equal(s) {
+		t.Fatalf("mutated clone still equal")
+	}
+	if s.Payload[0] == 'z' {
+		t.Fatalf("mutating clone mutated original")
+	}
+	var zero Signed
+	if !zero.IsZero() {
+		t.Fatalf("zero signed should report IsZero")
+	}
+	if s.IsZero() {
+		t.Fatalf("real signature should not be zero")
+	}
+}
+
+func TestProcesses(t *testing.T) {
+	kr := newTestRing()
+	if got := len(kr.Processes()); got != 3 {
+		t.Fatalf("Processes() len = %d", got)
+	}
+}
+
+// Property: any payload signed by a process verifies under that process and
+// fails under every other process.
+func TestSignVerifyProperty(t *testing.T) {
+	kr := newTestRing()
+	f := func(payload []byte, pick uint8) bool {
+		signer := types.ProcID(pick%3 + 1)
+		other := signer%3 + 1
+		s, err := kr.Sign(signer, payload)
+		if err != nil {
+			return false
+		}
+		return kr.Valid(signer, s) && !kr.Valid(other, s)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package trace records the structured events emitted by protocols and
+// substrates during an experiment run: proposals, memory operations,
+// permission changes, aborts and decisions. The harness uses traces to build
+// experiment tables and to check safety properties after a run; the
+// agreementsim command prints them for interactive exploration.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/types"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the protocols in this repository.
+const (
+	KindPropose          Kind = "propose"
+	KindDecide           Kind = "decide"
+	KindAbort            Kind = "abort"
+	KindPanic            Kind = "panic"
+	KindPermissionChange Kind = "permission-change"
+	KindLeaderChange     Kind = "leader-change"
+	KindBroadcast        Kind = "broadcast"
+	KindDeliver          Kind = "deliver"
+	KindCrash            Kind = "crash"
+	KindInfo             Kind = "info"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Time
+	Proc   types.ProcID
+	Kind   Kind
+	Detail string
+	Value  types.Value
+	Stamp  delayclock.Stamp
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %-6s %-18s %s %s",
+		e.At.Format("15:04:05.000000"), e.Proc, e.Kind, e.Value, e.Detail)
+}
+
+// Recorder collects events. The zero value is a valid, enabled recorder. A
+// nil *Recorder is also valid: all methods are no-ops, so protocol code can
+// record unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event with the current wall-clock time.
+func (r *Recorder) Record(proc types.ProcID, kind Kind, value types.Value, stamp delayclock.Stamp, detailFormat string, args ...any) {
+	if r == nil {
+		return
+	}
+	e := Event{
+		At:     time.Now(),
+		Proc:   proc,
+		Kind:   kind,
+		Detail: fmt.Sprintf(detailFormat, args...),
+		Value:  value.Clone(),
+		Stamp:  stamp,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of all recorded events in recording order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ByKind returns the recorded events of the given kind.
+func (r *Recorder) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByProcess returns the recorded events of the given process.
+func (r *Recorder) ByProcess(p types.ProcID) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Proc == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Decisions returns the decide events, which safety checkers inspect.
+func (r *Recorder) Decisions() []Event { return r.ByKind(KindDecide) }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// String renders the whole trace, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

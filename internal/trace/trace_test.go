@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rdmaagreement/internal/types"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	var r Recorder
+	r.Record(1, KindPropose, types.Value("v"), 0, "proposing")
+	r.Record(1, KindDecide, types.Value("v"), 2, "decided in %d delays", 2)
+	r.Record(2, KindPanic, nil, 3, "timeout")
+
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if got := len(r.Decisions()); got != 1 {
+		t.Fatalf("decisions = %d", got)
+	}
+	if got := len(r.ByKind(KindPanic)); got != 1 {
+		t.Fatalf("panics = %d", got)
+	}
+	if got := len(r.ByProcess(1)); got != 2 {
+		t.Fatalf("events by p1 = %d", got)
+	}
+	if got := len(r.ByProcess(3)); got != 0 {
+		t.Fatalf("events by p3 = %d", got)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	var r Recorder
+	r.Record(1, KindInfo, nil, 0, "a")
+	events := r.Events()
+	events[0].Detail = "mutated"
+	if r.Events()[0].Detail != "a" {
+		t.Fatalf("Events() must return a copy")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindInfo, nil, 0, "ignored")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatalf("nil recorder should be a no-op")
+	}
+	r.Reset()
+}
+
+func TestReset(t *testing.T) {
+	var r Recorder
+	r.Record(1, KindInfo, nil, 0, "x")
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("reset did not clear events")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var r Recorder
+	r.Record(1, KindDecide, types.Value("v"), 2, "decision detail")
+	out := r.String()
+	if !strings.Contains(out, "decide") || !strings.Contains(out, "decision detail") {
+		t.Fatalf("rendered trace missing fields: %q", out)
+	}
+	if !strings.Contains(r.Events()[0].String(), "p1") {
+		t.Fatalf("event string missing process")
+	}
+}
+
+func TestDetailFormatting(t *testing.T) {
+	var r Recorder
+	r.Record(2, KindLeaderChange, nil, 0, "leader is now %s", types.ProcID(3))
+	if got := r.Events()[0].Detail; got != "leader is now p3" {
+		t.Fatalf("detail = %q", got)
+	}
+}

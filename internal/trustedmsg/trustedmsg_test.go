@@ -1,0 +1,170 @@
+package trustedmsg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/memsim"
+	"rdmaagreement/internal/neb"
+	"rdmaagreement/internal/regreg"
+	"rdmaagreement/internal/sigs"
+	"rdmaagreement/internal/types"
+)
+
+type cluster struct {
+	procs     []types.ProcID
+	pool      *memsim.Pool
+	ring      *sigs.KeyRing
+	endpoints map[types.ProcID]*Endpoint
+}
+
+func newCluster(t *testing.T, n int, opts Options) *cluster {
+	t.Helper()
+	procs := make([]types.ProcID, 0, n)
+	for i := 1; i <= n; i++ {
+		procs = append(procs, types.ProcID(i))
+	}
+	pool := memsim.NewPool(3, func(types.MemID) []memsim.RegionSpec {
+		return regreg.DynamicLayout(procs)
+	}, memsim.Options{})
+	ring := sigs.NewKeyRing(procs)
+	c := &cluster{procs: procs, pool: pool, ring: ring, endpoints: make(map[types.ProcID]*Endpoint)}
+	for _, p := range procs {
+		store, err := regreg.NewStore(p, pool.Memories(), 1, &delayclock.Clock{})
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+		b := neb.New(p, procs, store, ring.SignerFor(p), neb.Options{})
+		ep := New(p, b, ring.SignerFor(p), opts)
+		ep.Start()
+		c.endpoints[p] = ep
+	}
+	t.Cleanup(func() {
+		for _, ep := range c.endpoints {
+			ep.Stop()
+		}
+	})
+	return c
+}
+
+func receiveWithin(t *testing.T, ep *Endpoint, d time.Duration) Received {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	r, err := ep.Receive(ctx)
+	if err != nil {
+		t.Fatalf("Receive at %s: %v", ep.Self(), err)
+	}
+	return r
+}
+
+func TestBroadcastReceivedByAll(t *testing.T) {
+	c := newCluster(t, 3, Options{})
+	ctx := context.Background()
+	if err := c.endpoints[1].TSend(ctx, BroadcastTo, []byte("hello")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	for _, p := range c.procs {
+		r := receiveWithin(t, c.endpoints[p], 5*time.Second)
+		if r.From != 1 || string(r.Msg) != "hello" {
+			t.Fatalf("process %v received %+v", p, r)
+		}
+	}
+}
+
+func TestPointToPointOnlyDeliveredToDestination(t *testing.T) {
+	c := newCluster(t, 3, Options{})
+	ctx := context.Background()
+	if err := c.endpoints[1].TSend(ctx, 2, []byte("secret")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	r := receiveWithin(t, c.endpoints[2], 5*time.Second)
+	if r.From != 1 || r.To != 2 || string(r.Msg) != "secret" {
+		t.Fatalf("p2 received %+v", r)
+	}
+	// p3 must not T-receive a message addressed to p2.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := c.endpoints[3].Receive(shortCtx); err == nil {
+		t.Fatalf("p3 received a message addressed to p2")
+	}
+}
+
+func TestSequenceOfMessagesArrivesInOrder(t *testing.T) {
+	c := newCluster(t, 2, Options{})
+	ctx := context.Background()
+	msgs := []string{"one", "two", "three"}
+	for _, m := range msgs {
+		if err := c.endpoints[1].TSend(ctx, BroadcastTo, []byte(m)); err != nil {
+			t.Fatalf("TSend %q: %v", m, err)
+		}
+	}
+	for i, want := range msgs {
+		r := receiveWithin(t, c.endpoints[2], 5*time.Second)
+		if string(r.Msg) != want {
+			t.Fatalf("message %d = %q, want %q", i, r.Msg, want)
+		}
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("message %d seq = %d", i, r.Seq)
+		}
+	}
+}
+
+func TestValidatorCanReject(t *testing.T) {
+	reject := func(from types.ProcID, history []historyRecord, msg []byte) bool {
+		return string(msg) != "bad"
+	}
+	c := newCluster(t, 2, Options{Validator: reject})
+	ctx := context.Background()
+	if err := c.endpoints[1].TSend(ctx, BroadcastTo, []byte("bad")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	if err := c.endpoints[1].TSend(ctx, BroadcastTo, []byte("good")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	r := receiveWithin(t, c.endpoints[2], 5*time.Second)
+	if string(r.Msg) != "good" {
+		t.Fatalf("validator did not filter the bad message, got %q", r.Msg)
+	}
+}
+
+func TestHistoryGrowsWithTraffic(t *testing.T) {
+	c := newCluster(t, 2, Options{})
+	ctx := context.Background()
+	if err := c.endpoints[1].TSend(ctx, BroadcastTo, []byte("a")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	receiveWithin(t, c.endpoints[2], 5*time.Second)
+	if err := c.endpoints[2].TSend(ctx, BroadcastTo, []byte("b")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	// p1 also receives its own broadcast of "a"; skip to the message from p2.
+	var r Received
+	for {
+		r = receiveWithin(t, c.endpoints[1], 5*time.Second)
+		if r.From == 2 {
+			break
+		}
+	}
+	if string(r.Msg) != "b" {
+		t.Fatalf("p1 received %+v", r)
+	}
+	// p2's history attached to its message included a received record for
+	// "a" and was accepted, which is what this test demonstrates end to end.
+	if c.endpoints[1].Clock().Now() == 0 {
+		t.Fatalf("delay clock should have advanced through memory operations")
+	}
+}
+
+func TestSelfReceivesOwnBroadcast(t *testing.T) {
+	c := newCluster(t, 2, Options{})
+	if err := c.endpoints[1].TSend(context.Background(), BroadcastTo, []byte("loop")); err != nil {
+		t.Fatalf("TSend: %v", err)
+	}
+	r := receiveWithin(t, c.endpoints[1], 5*time.Second)
+	if r.From != 1 || string(r.Msg) != "loop" {
+		t.Fatalf("self reception = %+v", r)
+	}
+}

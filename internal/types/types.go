@@ -1,0 +1,268 @@
+// Package types defines the identifiers, values and common errors shared by
+// every substrate and protocol in the repository.
+//
+// The vocabulary follows the message-and-memory (M&M) model of Aguilera et al.
+// (PODC 2019): a system has n processes and m memories; memories are divided
+// into registers grouped into regions; processes are identified by small
+// integer identifiers.
+package types
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a process. Valid process identifiers are positive;
+// the zero value is reserved to mean "no process".
+type ProcID int
+
+// NoProcess is the zero ProcID, used when a field does not refer to any
+// process (for example, the writer of a register that has never been written).
+const NoProcess ProcID = 0
+
+// String implements fmt.Stringer.
+func (p ProcID) String() string {
+	if p == NoProcess {
+		return "p(none)"
+	}
+	return fmt.Sprintf("p%d", int(p))
+}
+
+// MemID identifies a memory (a remote host's RDMA-accessible memory in the
+// paper's model). Valid memory identifiers are positive.
+type MemID int
+
+// String implements fmt.Stringer.
+func (m MemID) String() string { return fmt.Sprintf("mem%d", int(m)) }
+
+// RegionID identifies a memory region within a memory. Regions group
+// registers and carry access permissions.
+type RegionID string
+
+// RegisterID identifies a register within a memory.
+type RegisterID string
+
+// Value is the opaque payload stored in registers, proposed to consensus and
+// carried in messages. A nil Value plays the role of the paper's ⊥ (bottom).
+type Value []byte
+
+// Bottom reports whether v is the distinguished "no value" (⊥).
+func (v Value) Bottom() bool { return len(v) == 0 }
+
+// Clone returns a copy of v so that callers cannot alias internal buffers.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	out := make(Value, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two values are byte-wise equal. Two bottom values are
+// equal regardless of nil-ness.
+func (v Value) Equal(other Value) bool {
+	if v.Bottom() && other.Bottom() {
+		return true
+	}
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if v[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the value for traces; long values are truncated.
+func (v Value) String() string {
+	if v.Bottom() {
+		return "⊥"
+	}
+	const max = 32
+	if len(v) > max {
+		return fmt.Sprintf("%q…(%dB)", string(v[:max]), len(v))
+	}
+	return fmt.Sprintf("%q", string(v))
+}
+
+// ValueFromString builds a Value from a string literal; a convenience for
+// examples and tests.
+func ValueFromString(s string) Value { return Value(s) }
+
+// ProposalNumber is a Paxos-style ballot number. Proposal numbers are made
+// unique per process by interleaving a round counter with the proposer
+// identifier.
+type ProposalNumber struct {
+	Round    uint64 `json:"round"`
+	Proposer ProcID `json:"proposer"`
+}
+
+// Less reports whether n is strictly smaller than other, ordering first by
+// round and then by proposer identifier.
+func (n ProposalNumber) Less(other ProposalNumber) bool {
+	if n.Round != other.Round {
+		return n.Round < other.Round
+	}
+	return n.Proposer < other.Proposer
+}
+
+// Greater reports whether n is strictly larger than other.
+func (n ProposalNumber) Greater(other ProposalNumber) bool { return other.Less(n) }
+
+// Equal reports whether two proposal numbers are identical.
+func (n ProposalNumber) Equal(other ProposalNumber) bool {
+	return n.Round == other.Round && n.Proposer == other.Proposer
+}
+
+// IsZero reports whether n is the zero proposal number (no proposal).
+func (n ProposalNumber) IsZero() bool { return n.Round == 0 && n.Proposer == NoProcess }
+
+// Next returns the smallest proposal number owned by proposer that is strictly
+// greater than both n and floor.
+func (n ProposalNumber) Next(proposer ProcID, floor ProposalNumber) ProposalNumber {
+	round := n.Round
+	if floor.Round > round {
+		round = floor.Round
+	}
+	return ProposalNumber{Round: round + 1, Proposer: proposer}
+}
+
+// String implements fmt.Stringer.
+func (n ProposalNumber) String() string {
+	if n.IsZero() {
+		return "ballot(0)"
+	}
+	return fmt.Sprintf("ballot(%d.%d)", n.Round, int(n.Proposer))
+}
+
+// ProcSet is an immutable-by-convention set of process identifiers.
+type ProcSet map[ProcID]struct{}
+
+// NewProcSet builds a set from the given identifiers.
+func NewProcSet(ids ...ProcID) ProcSet {
+	s := make(ProcSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether id belongs to the set.
+func (s ProcSet) Contains(id ProcID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add returns a new set that also contains id. The receiver is not modified.
+func (s ProcSet) Add(id ProcID) ProcSet {
+	out := s.Clone()
+	out[id] = struct{}{}
+	return out
+}
+
+// Remove returns a new set without id. The receiver is not modified.
+func (s ProcSet) Remove(id ProcID) ProcSet {
+	out := s.Clone()
+	delete(out, id)
+	return out
+}
+
+// Clone returns a copy of the set.
+func (s ProcSet) Clone() ProcSet {
+	out := make(ProcSet, len(s))
+	for id := range s {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+// Len returns the number of members.
+func (s ProcSet) Len() int { return len(s) }
+
+// Members returns the members sorted ascending, for deterministic iteration.
+func (s ProcSet) Members() []ProcID {
+	out := make([]ProcID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two sets have the same members.
+func (s ProcSet) Equal(other ProcSet) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for id := range s {
+		if !other.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (s ProcSet) String() string {
+	members := s.Members()
+	out := "{"
+	for i, id := range members {
+		if i > 0 {
+			out += ","
+		}
+		out += id.String()
+	}
+	return out + "}"
+}
+
+// Common errors shared across substrates and protocols.
+var (
+	// ErrNak is returned by memory operations that are rejected because the
+	// caller lacks the required permission on the region (the paper's "nak").
+	ErrNak = errors.New("memory operation rejected: insufficient permission")
+
+	// ErrMemoryCrashed marks an operation that could not complete because the
+	// target memory crashed. In the model crashed memories hang forever; the
+	// simulator surfaces this error only when the caller's context is
+	// cancelled while waiting.
+	ErrMemoryCrashed = errors.New("memory crashed")
+
+	// ErrUnknownRegion is returned when an operation names a region that was
+	// never created on the target memory.
+	ErrUnknownRegion = errors.New("unknown memory region")
+
+	// ErrUnknownRegister is returned when an operation names a register that
+	// does not belong to the addressed region.
+	ErrUnknownRegister = errors.New("register not in region")
+
+	// ErrIllegalPermissionChange is returned when a permission change is
+	// rejected by the region's legalChange policy.
+	ErrIllegalPermissionChange = errors.New("permission change rejected by legalChange policy")
+
+	// ErrUnknownProcess is returned when a message is addressed to a process
+	// that is not registered with the network.
+	ErrUnknownProcess = errors.New("unknown process")
+
+	// ErrProcessCrashed is returned by the network when the sender has been
+	// crashed by the fault injector.
+	ErrProcessCrashed = errors.New("process crashed")
+
+	// ErrAborted is returned by optimistic protocols (Cheap Quorum) when they
+	// give up and hand over to the backup path.
+	ErrAborted = errors.New("protocol aborted")
+
+	// ErrNoDecision is returned by harness helpers when a run finishes
+	// without any process deciding.
+	ErrNoDecision = errors.New("no process decided")
+
+	// ErrInvalidConfig is returned when a cluster configuration violates the
+	// resilience requirements of the selected protocol.
+	ErrInvalidConfig = errors.New("invalid configuration")
+)
+
+// Majority returns the smallest integer strictly greater than half of total.
+func Majority(total int) int { return total/2 + 1 }

@@ -1,0 +1,194 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBottom(t *testing.T) {
+	var v Value
+	if !v.Bottom() {
+		t.Fatalf("nil value should be bottom")
+	}
+	if !(Value{}).Bottom() {
+		t.Fatalf("empty value should be bottom")
+	}
+	if Value("x").Bottom() {
+		t.Fatalf("non-empty value should not be bottom")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"both nil", nil, nil, true},
+		{"nil vs empty", nil, Value{}, true},
+		{"equal strings", Value("abc"), Value("abc"), true},
+		{"different strings", Value("abc"), Value("abd"), false},
+		{"different length", Value("abc"), Value("ab"), false},
+		{"value vs bottom", Value("abc"), nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Equal(tc.b); got != tc.want {
+				t.Fatalf("Equal(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			if got := tc.b.Equal(tc.a); got != tc.want {
+				t.Fatalf("Equal is not symmetric for %v, %v", tc.a, tc.b)
+			}
+		})
+	}
+}
+
+func TestValueClone(t *testing.T) {
+	orig := Value("hello")
+	clone := orig.Clone()
+	if !clone.Equal(orig) {
+		t.Fatalf("clone differs from original")
+	}
+	clone[0] = 'X'
+	if orig[0] == 'X' {
+		t.Fatalf("mutating clone mutated original")
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatalf("cloning nil should return nil")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Value(nil).String(); got != "⊥" {
+		t.Fatalf("bottom string = %q", got)
+	}
+	long := make(Value, 100)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if got := long.String(); len(got) >= 100 {
+		t.Fatalf("long value should be truncated, got %q", got)
+	}
+}
+
+func TestProposalNumberOrdering(t *testing.T) {
+	a := ProposalNumber{Round: 1, Proposer: 1}
+	b := ProposalNumber{Round: 1, Proposer: 2}
+	c := ProposalNumber{Round: 2, Proposer: 1}
+
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Fatalf("expected a < b < c")
+	}
+	if b.Less(a) || c.Less(b) {
+		t.Fatalf("ordering not antisymmetric")
+	}
+	if !c.Greater(a) {
+		t.Fatalf("Greater inconsistent with Less")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Fatalf("Equal broken")
+	}
+}
+
+func TestProposalNumberNext(t *testing.T) {
+	var zero ProposalNumber
+	if !zero.IsZero() {
+		t.Fatalf("zero value should be zero proposal")
+	}
+	n := zero.Next(3, ProposalNumber{})
+	if n.Round != 1 || n.Proposer != 3 {
+		t.Fatalf("Next from zero = %v", n)
+	}
+	// Next must exceed both the receiver and the floor.
+	floor := ProposalNumber{Round: 10, Proposer: 2}
+	n2 := n.Next(3, floor)
+	if !n2.Greater(floor) || !n2.Greater(n) {
+		t.Fatalf("Next(%v, floor=%v) = %v does not dominate", n, floor, n2)
+	}
+}
+
+func TestProposalNumberNextProperty(t *testing.T) {
+	f := func(round uint32, floorRound uint32, proposer uint8) bool {
+		cur := ProposalNumber{Round: uint64(round), Proposer: ProcID(proposer%5 + 1)}
+		floor := ProposalNumber{Round: uint64(floorRound), Proposer: ProcID(proposer%3 + 1)}
+		next := cur.Next(ProcID(proposer%5+1), floor)
+		return next.Greater(cur) && next.Greater(floor)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetBasics(t *testing.T) {
+	s := NewProcSet(1, 2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Contains(2) || s.Contains(4) {
+		t.Fatalf("contains broken")
+	}
+	added := s.Add(4)
+	if s.Contains(4) {
+		t.Fatalf("Add mutated receiver")
+	}
+	if !added.Contains(4) {
+		t.Fatalf("Add result missing new member")
+	}
+	removed := added.Remove(1)
+	if !added.Contains(1) {
+		t.Fatalf("Remove mutated receiver")
+	}
+	if removed.Contains(1) {
+		t.Fatalf("Remove result still has member")
+	}
+}
+
+func TestProcSetMembersSorted(t *testing.T) {
+	s := NewProcSet(5, 1, 3, 2, 4)
+	members := s.Members()
+	for i := 1; i < len(members); i++ {
+		if members[i-1] >= members[i] {
+			t.Fatalf("members not sorted: %v", members)
+		}
+	}
+}
+
+func TestProcSetEqual(t *testing.T) {
+	a := NewProcSet(1, 2)
+	b := NewProcSet(2, 1)
+	c := NewProcSet(1, 3)
+	if !a.Equal(b) {
+		t.Fatalf("equal sets reported unequal")
+	}
+	if a.Equal(c) || a.Equal(NewProcSet(1)) {
+		t.Fatalf("unequal sets reported equal")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 7: 4}
+	for total, want := range cases {
+		if got := Majority(total); got != want {
+			t.Fatalf("Majority(%d) = %d, want %d", total, got, want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProcID(3).String() != "p3" {
+		t.Fatalf("ProcID stringer broken")
+	}
+	if NoProcess.String() != "p(none)" {
+		t.Fatalf("NoProcess stringer broken")
+	}
+	if MemID(2).String() != "mem2" {
+		t.Fatalf("MemID stringer broken")
+	}
+	if (ProposalNumber{}).String() != "ballot(0)" {
+		t.Fatalf("zero proposal stringer broken")
+	}
+	set := NewProcSet(2, 1)
+	if set.String() != "{p1,p2}" {
+		t.Fatalf("ProcSet stringer = %q", set.String())
+	}
+}

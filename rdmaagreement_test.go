@@ -1,0 +1,67 @@
+package rdmaagreement
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster, err := NewCluster(ProtocolFastRobust, Options{Processes: 3, Memories: 3})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := cluster.Proposer(cluster.Leader()).Propose(ctx, Value("public-api"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if !res.Value.Equal(Value("public-api")) {
+		t.Fatalf("decided %v", res.Value)
+	}
+	if !res.FastPath || res.DecisionDelays != 2 {
+		t.Fatalf("expected a 2-delay fast-path decision, got %+v", res)
+	}
+}
+
+func TestPublicAPIProtocolList(t *testing.T) {
+	if len(Protocols()) != 6 {
+		t.Fatalf("expected 6 protocols, got %v", Protocols())
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	ids := ExperimentIDs()
+	if len(exps) != len(ids) {
+		t.Fatalf("experiment registry and id list out of sync")
+	}
+	// Run the cheapest experiment end to end through the public API.
+	table, err := exps["e5"]()
+	if err != nil {
+		t.Fatalf("e5: %v", err)
+	}
+	if len(table.Rows) == 0 || table.String() == "" {
+		t.Fatalf("e5 produced an empty table")
+	}
+}
+
+func TestPublicAPIRecorder(t *testing.T) {
+	rec := &Recorder{}
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 2, Memories: 3, Recorder: rec})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cluster.Proposer(1).Propose(ctx, Value("traced")); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if len(rec.Decisions()) == 0 {
+		t.Fatalf("recorder captured no decision events")
+	}
+}
