@@ -3,6 +3,7 @@ package rdmaagreement
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -222,4 +223,90 @@ func BenchmarkE10NonEquivBroadcast(b *testing.B) {
 	b.Run("fast-path", func(b *testing.B) {
 		benchProposal(b, ProtocolFastRobust, Options{Processes: 3, Memories: 3}, nil)
 	})
+}
+
+// BenchmarkLogAppend measures replicated-log throughput over ONE long-lived
+// cluster (the smr subsystem): sequential appends pay one slot each, while
+// concurrent appends amortize slots over batches.
+func BenchmarkLogAppend(b *testing.B) {
+	newBenchLog := func(b *testing.B) *Log {
+		b.Helper()
+		l, err := NewLog(LogOptions{Cluster: Options{Processes: 3, Memories: 3}})
+		if err != nil {
+			b.Fatalf("NewLog: %v", err)
+		}
+		b.Cleanup(l.Close)
+		return l
+	}
+	b.Run("sequential", func(b *testing.B) {
+		l := newBenchLog(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Apply(ctx, []byte("bench")); err != nil {
+				b.Fatalf("Apply: %v", err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(l.Len())/float64(l.Slots()), "cmds/slot")
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		l := newBenchLog(b)
+		ctx := context.Background()
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := l.Apply(ctx, []byte("bench")); err != nil {
+					b.Errorf("Apply: %v", err) // Fatalf must not run off the benchmark goroutine
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		if slots := l.Slots(); slots > 0 {
+			b.ReportMetric(float64(l.Len())/float64(slots), "cmds/slot")
+		}
+	})
+}
+
+// BenchmarkShardedKV measures aggregate put throughput as the key space is
+// sharded over more independent replicated-log groups: appends/sec scale
+// with the shard count because unrelated keys commit in parallel.
+//
+// The memories simulate a per-operation latency (the regime the paper
+// targets: decision cost dominated by hardware round trips, not CPU), and
+// the per-group batch is bounded, so a single group saturates at
+// MaxBatch/slot-time and additional shards multiply the ceiling.
+func BenchmarkShardedKV(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			kv, err := NewShardedKV(ShardedKVOptions{
+				Shards: shards,
+				Log: LogOptions{
+					Cluster:  Options{Processes: 3, Memories: 3, MemoryLatency: 2 * time.Millisecond},
+					MaxBatch: 4,
+				},
+			})
+			if err != nil {
+				b.Fatalf("NewShardedKV: %v", err)
+			}
+			b.Cleanup(kv.Close)
+			ctx := context.Background()
+			var seq atomic.Int64
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					key := fmt.Sprintf("user/%d", i)
+					if _, _, err := kv.Put(ctx, key, "bench"); err != nil {
+						b.Errorf("Put: %v", err) // Fatalf must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
+	}
 }

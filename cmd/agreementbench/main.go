@@ -2,24 +2,46 @@
 // EXPERIMENTS.md: the delay, resilience and signature-cost measurements that
 // reproduce the quantitative claims of "The Impact of RDMA on Agreement".
 //
+// It also benchmarks the replicated-log subsystem built on top of the paper's
+// protocols: -shards switches to throughput mode, which drives a sharded
+// key-value store over long-lived consensus groups and reports aggregate
+// appends/sec.
+//
 // Usage:
 //
-//	agreementbench               # run every experiment
-//	agreementbench -table e1     # run a single experiment (e1, e2, e3, e4, e5, e6, e8, e9)
+//	agreementbench                   # run every experiment table
+//	agreementbench -table e1         # run a single experiment (e1..e6, e8, e9)
+//	agreementbench -shards 4         # sharded-log throughput, 4 groups
+//	agreementbench -shards 4 -batch 8 -ops 2000 -clients 64 -latency 1ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"rdmaagreement"
 )
 
 func main() {
 	table := flag.String("table", "all", "experiment to run (e1..e9, or 'all')")
+	shards := flag.Int("shards", 0, "run sharded-log throughput mode with this many groups (0 = experiment tables)")
+	batch := flag.Int("batch", 8, "throughput mode: max commands agreed as one slot value")
+	ops := flag.Int("ops", 1000, "throughput mode: total puts to commit")
+	clients := flag.Int("clients", 32, "throughput mode: concurrent client goroutines")
+	latency := flag.Duration("latency", time.Millisecond, "throughput mode: simulated per-operation memory latency")
 	flag.Parse()
-	if err := run(*table); err != nil {
+
+	var err error
+	if *shards > 0 {
+		err = runThroughput(*shards, *batch, *ops, *clients, *latency)
+	} else {
+		err = run(*table)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -49,5 +71,78 @@ func runOne(id string, runner func() (rdmaagreement.Table, error)) error {
 		return fmt.Errorf("experiment %s: %w", id, err)
 	}
 	fmt.Println(table.String())
+	return nil
+}
+
+// runThroughput drives a sharded KV over long-lived replicated-log groups and
+// reports aggregate throughput plus per-group batching statistics.
+func runThroughput(shards, batch, ops, clients int, latency time.Duration) error {
+	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
+		Shards: shards,
+		Log: rdmaagreement.LogOptions{
+			Cluster:  rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: latency},
+			MaxBatch: batch,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer kv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	work := make(chan int)
+	errs := make(chan error, clients)
+	stop := make(chan struct{}) // closed on the first Put error so the producer never blocks on dead workers
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if _, _, err := kv.Put(ctx, fmt.Sprintf("key/%d", i), fmt.Sprintf("v%d", i)); err != nil {
+					errs <- err
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+			}
+		}()
+	}
+producer:
+	for i := 0; i < ops; i++ {
+		select {
+		case work <- i:
+		case <-stop:
+			break producer
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("throughput put: %w", err)
+	}
+
+	fmt.Printf("sharded-log throughput — %d groups, %d clients, batch ≤ %d, memory latency %s\n",
+		shards, clients, batch, latency)
+	fmt.Printf("  committed %d puts in %s: %.0f appends/sec aggregate\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	var slots uint64
+	for _, name := range kv.Shards() {
+		l := kv.ShardLog(name)
+		slots += l.Slots()
+		avg := 0.0
+		if l.Slots() > 0 {
+			avg = float64(l.Len()) / float64(l.Slots())
+		}
+		fmt.Printf("  %s: %d entries over %d slots (%.1f cmds/slot)\n", name, l.Len(), l.Slots(), avg)
+	}
+	if slots > 0 {
+		fmt.Printf("  batching amortization: %.1f commands per consensus slot overall\n", float64(ops)/float64(slots))
+	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module rdmaagreement
+
+go 1.24

@@ -12,6 +12,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"rdmaagreement/internal/aligned"
@@ -89,6 +90,12 @@ type Options struct {
 	RoundTimeout time.Duration
 	// Recorder receives trace events from every node; may be nil.
 	Recorder *trace.Recorder
+	// InstancesOnly skips building the single-shot proposer nodes: the
+	// cluster serves only multiplexed consensus instances (NewInstance).
+	// The replicated-log layer sets it so that a log group does not carry a
+	// full set of permanently idle base nodes. Cluster.Proposer returns nil
+	// for every process when set.
+	InstancesOnly bool
 }
 
 func (o *Options) applyDefaults(protocol Protocol) {
@@ -149,8 +156,10 @@ type Cluster struct {
 	Oracle   *omega.Static
 
 	proposers map[types.ProcID]Proposer
-	routers   []*netsim.Router
-	stoppers  []func()
+
+	mu       sync.Mutex
+	routers  map[types.ProcID]*netsim.Router
+	stoppers []func()
 }
 
 // NewCluster builds a cluster running the given protocol.
@@ -168,6 +177,7 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 		Ring:      sigs.NewKeyRing(procs),
 		Oracle:    omega.NewStatic(opts.Leader),
 		proposers: make(map[types.ProcID]Proposer, len(procs)),
+		routers:   make(map[types.ProcID]*netsim.Router, len(procs)),
 	}
 
 	memOpts := memsim.Options{OperationLatency: opts.MemoryLatency}
@@ -206,15 +216,17 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 		return nil, fmt.Errorf("%w: unknown protocol %q", types.ErrInvalidConfig, protocol)
 	}
 
-	for _, p := range procs {
-		proposer, stop, err := build(p)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster %s: %w", protocol, err)
-		}
-		c.proposers[p] = proposer
-		if stop != nil {
-			c.stoppers = append(c.stoppers, stop)
+	if !opts.InstancesOnly {
+		for _, p := range procs {
+			proposer, stop, err := build(p)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster %s: %w", protocol, err)
+			}
+			c.proposers[p] = proposer
+			if stop != nil {
+				c.stoppers = append(c.stoppers, stop)
+			}
 		}
 	}
 	return c, nil
@@ -222,14 +234,18 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 
 // Close stops every node and the simulated network.
 func (c *Cluster) Close() {
-	for i := len(c.stoppers) - 1; i >= 0; i-- {
-		c.stoppers[i]()
-	}
+	c.mu.Lock()
+	stoppers := c.stoppers
 	c.stoppers = nil
-	for _, r := range c.routers {
+	routers := c.routers
+	c.routers = make(map[types.ProcID]*netsim.Router)
+	c.mu.Unlock()
+	for i := len(stoppers) - 1; i >= 0; i-- {
+		stoppers[i]()
+	}
+	for _, r := range routers {
 		r.Close()
 	}
-	c.routers = nil
 	if c.Network != nil {
 		c.Network.Close()
 	}
@@ -253,10 +269,18 @@ func (c *Cluster) CrashMemories(count int) []types.MemID { return c.Pool.CrashQu
 // taking steps.
 func (c *Cluster) CrashProcess(p types.ProcID) { c.Network.CrashProcess(p) }
 
-// router creates a router for process p and tracks it for Close.
+// router returns the router of process p, creating and tracking it on first
+// use. Each process has at most one router (the router owns the endpoint's
+// receive loop); consensus instances multiplexed over a long-lived cluster
+// add and remove subscriptions on the same router.
 func (c *Cluster) router(p types.ProcID) *netsim.Router {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.routers[p]; ok {
+		return r
+	}
 	r := netsim.NewRouter(c.Network.Register(p))
-	c.routers = append(c.routers, r)
+	c.routers[p] = r
 	return r
 }
 
@@ -410,7 +434,10 @@ func (a *paxosProposer) Clock() *delayclock.Clock { return a.node.Clock() }
 
 func (c *Cluster) buildPaxos(p types.ProcID) (Proposer, func(), error) {
 	router := c.router(p)
-	tr := paxos.NewNetTransport(c.Network.Register(p), router.Subscribe("paxos/", 0), "paxos/msg")
+	// Subscribe to the exact base kind, not the "paxos/" prefix: per-slot
+	// instances multiplexed over this cluster use "paxos/slot/<n>/msg" kinds,
+	// which must never leak into the base node's acceptor state.
+	tr := paxos.NewNetTransport(c.Network.Register(p), router.Subscribe("paxos/msg", 0), "paxos/msg")
 	node := paxos.NewNode(paxos.Config{
 		Self:         p,
 		Procs:        c.Procs,

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"rdmaagreement/internal/fastpaxos"
+	"rdmaagreement/internal/paxos"
+	"rdmaagreement/internal/pmpaxos"
+	"rdmaagreement/internal/types"
+)
+
+// SlotProposer is the per-process handle of one multiplexed consensus
+// instance. Beyond proposing, it exposes the learner side: WaitDecision
+// blocks until this process learns the instance's decision (through its own
+// proposal or a decide broadcast), which is what replicated-log replicas need
+// to apply slots in order.
+type SlotProposer interface {
+	Proposer
+	// WaitDecision blocks until this process learns the decision.
+	WaitDecision(ctx context.Context) (types.Value, error)
+}
+
+// Instance is one consensus instance (log slot) multiplexed over a long-lived
+// cluster. The instance shares the cluster's memories, network endpoints,
+// routers, key ring and leader oracle; only the per-slot protocol state
+// (memory regions, message kinds, proposer/acceptor nodes) is fresh. Closing
+// an instance stops its nodes and removes its router subscriptions, so a
+// cluster can serve an unbounded sequence of instances at constant cost.
+type Instance struct {
+	// Slot is the instance's identifier in the log.
+	Slot uint64
+
+	cluster  *Cluster
+	handles  map[types.ProcID]SlotProposer
+	cleanups []func()
+}
+
+// NewInstance creates consensus instance slot over the cluster's long-lived
+// substrates. Slots are independent: their memory regions and message kinds
+// never collide, so any number of instances may run concurrently.
+//
+// Instances are supported for the slot-capable protocols: Protected Memory
+// Paxos, Paxos and Fast Paxos. The remaining protocols hard-code their
+// single-shot memory layout (Cheap Quorum's panic region, Disk Paxos's
+// blocks) and report an error.
+func (c *Cluster) NewInstance(slot uint64) (*Instance, error) {
+	inst := &Instance{
+		Slot:    slot,
+		cluster: c,
+		handles: make(map[types.ProcID]SlotProposer, len(c.Procs)),
+	}
+	var build func(p types.ProcID) (SlotProposer, func(), error)
+	switch c.Protocol {
+	case ProtocolProtectedMemoryPaxos:
+		// Lay the slot's region out on every memory. EnsureRegion is
+		// idempotent, so concurrent instance creation for the same slot (for
+		// example two sharded-log clients racing) is safe: the permission of
+		// an existing region is never reset.
+		spec := pmpaxos.InstanceLayout(slot, c.Procs, c.Opts.Leader)
+		for _, mem := range c.Pool.Memories() {
+			mem.EnsureRegion(spec)
+		}
+		build = func(p types.ProcID) (SlotProposer, func(), error) {
+			return c.buildPMPaxosSlot(slot, p)
+		}
+	case ProtocolPaxos:
+		build = func(p types.ProcID) (SlotProposer, func(), error) {
+			return c.buildPaxosSlot(slot, p)
+		}
+	case ProtocolFastPaxos:
+		build = func(p types.ProcID) (SlotProposer, func(), error) {
+			return c.buildFastPaxosSlot(slot, p)
+		}
+	default:
+		return nil, fmt.Errorf("%w: protocol %s does not support slot multiplexing (use %s, %s or %s)",
+			types.ErrInvalidConfig, c.Protocol, ProtocolProtectedMemoryPaxos, ProtocolPaxos, ProtocolFastPaxos)
+	}
+	for _, p := range c.Procs {
+		handle, cleanup, err := build(p)
+		if err != nil {
+			inst.Close()
+			return nil, fmt.Errorf("instance %d of %s: %w", slot, c.Protocol, err)
+		}
+		inst.handles[p] = handle
+		if cleanup != nil {
+			inst.cleanups = append(inst.cleanups, cleanup)
+		}
+	}
+	return inst, nil
+}
+
+// Proposer returns the instance's handle at process p.
+func (i *Instance) Proposer(p types.ProcID) SlotProposer { return i.handles[p] }
+
+// Close stops the instance's nodes and removes its router subscriptions. The
+// decided value, if any, stays recorded in the shared memories; Close only
+// releases the live resources (goroutines, subscriptions).
+func (i *Instance) Close() {
+	for j := len(i.cleanups) - 1; j >= 0; j-- {
+		i.cleanups[j]()
+	}
+	i.cleanups = nil
+}
+
+// --- per-protocol slot builders --------------------------------------------
+
+// pmPaxosSlotHandle adapts a per-slot Protected Memory Paxos node.
+type pmPaxosSlotHandle struct {
+	pmPaxosProposer
+}
+
+func (h *pmPaxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, error) {
+	return h.node.WaitDecision(ctx)
+}
+
+func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+	router := c.router(p)
+	decideKind := pmpaxos.DecideKindFor(slot)
+	sub := router.Subscribe(decideKind, 0)
+	node, err := pmpaxos.New(pmpaxos.Config{
+		Self:           p,
+		Procs:          c.Procs,
+		InitialLeader:  c.Opts.Leader,
+		FaultyMemories: c.Opts.FaultyMemories,
+		Memories:       c.Pool.Memories(),
+		Oracle:         c.Oracle,
+		Endpoint:       c.Network.Register(p),
+		DecideSub:      sub,
+		Region:         pmpaxos.RegionFor(slot),
+		DecideKind:     decideKind,
+		Recorder:       c.Opts.Recorder,
+	})
+	if err != nil {
+		router.Unsubscribe(sub)
+		return nil, nil, err
+	}
+	node.Start()
+	cleanup := func() {
+		node.Stop()
+		router.Unsubscribe(sub)
+	}
+	return &pmPaxosSlotHandle{pmPaxosProposer{node: node}}, cleanup, nil
+}
+
+// paxosSlotHandle adapts a per-slot classic Paxos node.
+type paxosSlotHandle struct {
+	paxosProposer
+}
+
+func (h *paxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, error) {
+	return h.node.WaitDecision(ctx)
+}
+
+// paxosSlotKind is the message kind of classic-Paxos instance slot. The
+// trailing path segment keeps slot prefixes unambiguous on the router.
+func paxosSlotKind(slot uint64) string { return fmt.Sprintf("paxos/slot/%d/msg", slot) }
+
+func (c *Cluster) buildPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+	router := c.router(p)
+	kind := paxosSlotKind(slot)
+	sub := router.Subscribe(kind, 0)
+	tr := paxos.NewNetTransport(c.Network.Register(p), sub, kind)
+	node := paxos.NewNode(paxos.Config{
+		Self:         p,
+		Procs:        c.Procs,
+		Oracle:       c.Oracle,
+		RoundTimeout: c.Opts.RoundTimeout,
+		Recorder:     c.Opts.Recorder,
+	}, tr)
+	node.Start()
+	cleanup := func() {
+		node.Stop()
+		router.Unsubscribe(sub)
+	}
+	return &paxosSlotHandle{paxosProposer{node: node}}, cleanup, nil
+}
+
+// fastPaxosSlotHandle adapts a per-slot Fast Paxos node.
+type fastPaxosSlotHandle struct {
+	fastPaxosProposer
+}
+
+func (h *fastPaxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, error) {
+	return h.node.WaitDecision(ctx)
+}
+
+// fastPaxosSlotPrefix is the kind prefix of Fast Paxos instance slot.
+func fastPaxosSlotPrefix(slot uint64) string { return fmt.Sprintf("fastpaxos/slot/%d/", slot) }
+
+func (c *Cluster) buildFastPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+	router := c.router(p)
+	prefix := fastPaxosSlotPrefix(slot)
+	fastSub := router.Subscribe(prefix, 0)
+	classicSub := router.Subscribe(prefix+"classic", 0)
+	unsubscribe := func() {
+		router.Unsubscribe(fastSub)
+		router.Unsubscribe(classicSub)
+	}
+	node, err := fastpaxos.New(fastpaxos.Config{
+		Self:            p,
+		Procs:           c.Procs,
+		FaultyProcesses: c.Opts.FaultyProcesses,
+		Endpoint:        c.Network.Register(p),
+		FastSub:         fastSub,
+		ClassicSub:      classicSub,
+		Oracle:          c.Oracle,
+		KindPrefix:      prefix,
+		FastTimeout:     c.Opts.FastTimeout,
+		Recorder:        c.Opts.Recorder,
+	})
+	if err != nil {
+		unsubscribe()
+		return nil, nil, err
+	}
+	node.Start()
+	cleanup := func() {
+		node.Stop()
+		unsubscribe()
+	}
+	return &fastPaxosSlotHandle{fastPaxosProposer{node: node}}, cleanup, nil
+}

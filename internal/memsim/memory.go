@@ -172,6 +172,21 @@ func (m *Memory) AddRegion(spec RegionSpec) {
 	m.installRegionLocked(spec)
 }
 
+// EnsureRegion installs the region only if it does not exist yet and reports
+// whether it installed it. Unlike AddRegion it never resets the state or the
+// permission of an existing region, so concurrent proposers of the same
+// consensus instance can race to lay out its region safely (the replicated-log
+// layer installs one region per slot this way).
+func (m *Memory) EnsureRegion(spec RegionSpec) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[spec.ID]; ok {
+		return false
+	}
+	m.installRegionLocked(spec)
+	return true
+}
+
 // RegionPermission returns a copy of the current permission of region. It is
 // a diagnostic helper (the model itself does not expose permission reads; the
 // harness and tests use this to assert on permission state).

@@ -57,6 +57,23 @@ func (r *Router) Subscribe(prefix string, buffer int) <-chan Message {
 	return ch
 }
 
+// Unsubscribe removes the subscription whose channel is ch. Messages already
+// delivered to the channel stay readable; new messages matching its prefix
+// fall through to shorter-prefix subscriptions or the fallback. Long-lived
+// clusters that multiplex many short-lived consensus instances over one
+// router must unsubscribe finished instances so dispatch stays O(live
+// instances), not O(all instances ever).
+func (r *Router) Unsubscribe(ch <-chan Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.subs {
+		if r.subs[i].ch == ch {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			return
+		}
+	}
+}
+
 // SubscribeDefault returns a channel receiving messages that match no other
 // subscription.
 func (r *Router) SubscribeDefault(buffer int) <-chan Message {
@@ -98,26 +115,26 @@ func (r *Router) loop(ctx context.Context) {
 }
 
 func (r *Router) dispatch(ctx context.Context, msg Message) {
+	// Resolve the target channel while holding the lock: Unsubscribe
+	// compacts r.subs in place, so a pointer into the slice must not be
+	// dereferenced after unlocking (it could alias a different
+	// subscription by then).
 	r.mu.Lock()
-	var best *subscription
+	var target chan Message
+	bestLen := -1
 	for i := range r.subs {
 		s := &r.subs[i]
-		if strings.HasPrefix(msg.Kind, s.prefix) {
-			if best == nil || len(s.prefix) > len(best.prefix) {
-				best = s
-			}
+		if strings.HasPrefix(msg.Kind, s.prefix) && len(s.prefix) > bestLen {
+			target = s.ch
+			bestLen = len(s.prefix)
 		}
 	}
-	fallback := r.fallback
+	if target == nil {
+		target = r.fallback
+	}
 	r.mu.Unlock()
 
-	var target chan Message
-	switch {
-	case best != nil:
-		target = best.ch
-	case fallback != nil:
-		target = fallback
-	default:
+	if target == nil {
 		return
 	}
 	select {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -137,4 +138,50 @@ func TestRouterEndpointAccessor(t *testing.T) {
 	if _, err := n.Register(3).Receive(ctx); err != nil {
 		t.Fatalf("Receive: %v", err)
 	}
+}
+
+// TestRouterUnsubscribeConcurrentDispatch churns subscriptions while traffic
+// flows, the pattern of a replicated log opening and closing one consensus
+// instance per slot over a long-lived router. It guards the dispatch path
+// against reading subscription state outside the lock (a misdelivery and a
+// race-detector hit before dispatch resolved the target under the mutex).
+func TestRouterUnsubscribeConcurrentDispatch(t *testing.T) {
+	n := newTestNetwork(t, Options{})
+	sender := n.Register(1)
+	router := NewRouter(n.Register(2))
+	t.Cleanup(router.Close)
+
+	keep := router.Subscribe("keep/", 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			if err := sender.Send(2, "keep/msg", nil, 0); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Churn short-lived subscriptions under the sender's feet.
+	for i := 0; i < 500; i++ {
+		ch := router.Subscribe(fmt.Sprintf("slot/%d/", i), 0)
+		router.Unsubscribe(ch)
+	}
+
+	received := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for received < 2000 {
+		select {
+		case msg := <-keep:
+			if msg.Kind != "keep/msg" {
+				t.Fatalf("misdelivered message of kind %q", msg.Kind)
+			}
+			received++
+		case <-ctx.Done():
+			t.Fatalf("received %d of 2000 messages: %v", received, ctx.Err())
+		}
+	}
+	<-done
 }

@@ -173,6 +173,15 @@ func (n *Node) WaitDecision(ctx context.Context) (types.Value, error) {
 		v, _ := n.Decided()
 		return v, nil
 	case <-ctx.Done():
+		// Both channels may be ready; prefer the decision so a learner
+		// polled with an already-expired context still reports a value it
+		// has in fact learned.
+		select {
+		case <-n.decidedCh:
+			v, _ := n.Decided()
+			return v, nil
+		default:
+		}
 		return nil, fmt.Errorf("wait decision at %s: %w", n.cfg.Self, ctx.Err())
 	}
 }

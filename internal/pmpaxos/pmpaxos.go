@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,11 +33,30 @@ import (
 	"rdmaagreement/internal/types"
 )
 
-// Region is the single region each memory dedicates to the protocol.
+// Region is the single region each memory dedicates to the protocol when it
+// runs as a stand-alone single-shot instance.
 const Region = types.RegionID("pmpaxos")
 
-// DecideKind is the message kind used to broadcast decisions to learners.
+// DecideKind is the message kind used to broadcast decisions to learners of
+// the stand-alone instance.
 const DecideKind = "pmpaxos/decide"
+
+// instanceRegionPrefix scopes the regions of multiplexed consensus instances
+// (log slots) so that an unbounded sequence of instances can share one memory
+// pool without colliding.
+const instanceRegionPrefix = "pmpaxos/slot/"
+
+// RegionFor names the region of consensus instance slot.
+func RegionFor(slot uint64) types.RegionID {
+	return types.RegionID(fmt.Sprintf("%s%d", instanceRegionPrefix, slot))
+}
+
+// DecideKindFor names the decide-broadcast message kind of consensus instance
+// slot. The trailing path segment keeps slot prefixes unambiguous (slot 3
+// never matches a subscription for slot 30 and vice versa).
+func DecideKindFor(slot uint64) string {
+	return fmt.Sprintf("pmpaxos/slot/%d/decide", slot)
+}
 
 // slotRegister names the slot of process p.
 func slotRegister(p types.ProcID) types.RegisterID {
@@ -47,6 +67,20 @@ func slotRegister(p types.ProcID) types.RegisterID {
 // per process, initially writable only by the initial leader and readable by
 // everyone.
 func Layout(procs []types.ProcID, initialLeader types.ProcID) []memsim.RegionSpec {
+	return []memsim.RegionSpec{RegionSpecFor(Region, procs, initialLeader)}
+}
+
+// InstanceLayout returns the region layout of consensus instance slot. The
+// replicated-log layer installs one such region per slot on the shared,
+// long-lived memory pool (memsim.Memory.EnsureRegion).
+func InstanceLayout(slot uint64, procs []types.ProcID, initialLeader types.ProcID) memsim.RegionSpec {
+	return RegionSpecFor(RegionFor(slot), procs, initialLeader)
+}
+
+// RegionSpecFor builds the protocol's region layout under an arbitrary region
+// identifier: one slot register per process, initially writable only by the
+// initial leader and readable by everyone else.
+func RegionSpecFor(region types.RegionID, procs []types.ProcID, initialLeader types.ProcID) memsim.RegionSpec {
 	regs := make([]types.RegisterID, 0, len(procs))
 	for _, p := range procs {
 		regs = append(regs, slotRegister(p))
@@ -57,20 +91,26 @@ func Layout(procs []types.ProcID, initialLeader types.ProcID) []memsim.RegionSpe
 			readers = readers.Add(p)
 		}
 	}
-	return []memsim.RegionSpec{{
-		ID:        Region,
+	return memsim.RegionSpec{
+		ID:        region,
 		Registers: regs,
 		Perm:      memsim.NewPermission(readers, nil, types.NewProcSet(initialLeader)),
-	}}
+	}
 }
 
 // LegalChange returns the permission-change policy: a process may only make
 // itself the exclusive writer while leaving every other process able to read
-// (the "acquire write permission" step of Algorithm 7).
+// (the "acquire write permission" step of Algorithm 7). The policy covers the
+// stand-alone region and every per-slot instance region, so one long-lived
+// memory pool can serve an unbounded log of instances.
 func LegalChange(procs []types.ProcID) memsim.LegalChangeFunc {
-	return memsim.PolicyByRegion(map[types.RegionID]memsim.LegalChangeFunc{
-		Region: memsim.ExclusiveWriterPolicy(procs),
-	}, memsim.StaticPermissions)
+	exclusive := memsim.ExclusiveWriterPolicy(procs)
+	return func(p types.ProcID, region types.RegionID, old, new memsim.Permission) bool {
+		if region == Region || strings.HasPrefix(string(region), instanceRegionPrefix) {
+			return exclusive(p, region, old, new)
+		}
+		return memsim.StaticPermissions(p, region, old, new)
+	}
 }
 
 // slot is the content of slot[i, p].
@@ -122,6 +162,13 @@ type Config struct {
 	// them.
 	Endpoint  *netsim.Endpoint
 	DecideSub <-chan netsim.Message
+	// Region is the memory region this node operates on. Empty means the
+	// stand-alone Region; the replicated-log layer sets RegionFor(slot) so
+	// that many instances multiplex one memory pool.
+	Region types.RegionID
+	// DecideKind is the message kind of decide broadcasts. Empty means the
+	// stand-alone DecideKind; instances use DecideKindFor(slot).
+	DecideKind string
 	// RetryDelay is the pause before retrying a preempted proposal. Zero
 	// means 10ms.
 	RetryDelay time.Duration
@@ -147,6 +194,12 @@ func (c *Config) Validate() error {
 }
 
 func (c *Config) applyDefaults() {
+	if c.Region == "" {
+		c.Region = Region
+	}
+	if c.DecideKind == "" {
+		c.DecideKind = DecideKind
+	}
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 10 * time.Millisecond
 	}
@@ -239,6 +292,15 @@ func (n *Node) WaitDecision(ctx context.Context) (types.Value, error) {
 		v, _ := n.Decided()
 		return v, nil
 	case <-ctx.Done():
+		// Both channels may be ready; prefer the decision so a learner
+		// polled with an already-expired context still reports a value it
+		// has in fact learned.
+		select {
+		case <-n.decidedCh:
+			v, _ := n.Decided()
+			return v, nil
+		default:
+		}
 		return nil, fmt.Errorf("wait decision at %s: %w", n.cfg.Self, ctx.Err())
 	}
 }
@@ -411,7 +473,7 @@ func (n *Node) runPhase1(ctx context.Context, ballot types.ProposalNumber, invok
 func (n *Node) phase1OnMemory(ctx context.Context, mem *memsim.Memory, ballot types.ProposalNumber, invoked delayclock.Stamp) memoryPhaseResult {
 	res := memoryPhaseResult{mem: mem.ID()}
 
-	stamp, err := mem.ChangePermission(ctx, n.cfg.Self, Region, n.exclusivePermission(), invoked)
+	stamp, err := mem.ChangePermission(ctx, n.cfg.Self, n.cfg.Region, n.exclusivePermission(), invoked)
 	if err != nil {
 		res.err = err
 		return res
@@ -424,7 +486,7 @@ func (n *Node) phase1OnMemory(ctx context.Context, mem *memsim.Memory, ballot ty
 		res.err = err
 		return res
 	}
-	stamp, err = mem.Write(ctx, n.cfg.Self, Region, slotRegister(n.cfg.Self), blob, stamp)
+	stamp, err = mem.Write(ctx, n.cfg.Self, n.cfg.Region, slotRegister(n.cfg.Self), blob, stamp)
 	if err != nil {
 		if errors.Is(err, types.ErrNak) {
 			res.err = nil // permission already stolen again: treated as preemption
@@ -443,9 +505,13 @@ func (n *Node) phase1OnMemory(ctx context.Context, mem *memsim.Memory, ballot ty
 		err   error
 	}
 	reads := make(chan readResult, len(n.cfg.Procs))
+	// Snapshot the post-write stamp: the collector below keeps advancing
+	// `stamp`, and the read goroutines must not observe those writes (they
+	// are all invoked at the same causal point, right after the write).
+	readStamp := stamp
 	for _, q := range n.cfg.Procs {
 		go func(q types.ProcID) {
-			raw, rstamp, rerr := mem.Read(ctx, n.cfg.Self, Region, slotRegister(q), stamp)
+			raw, rstamp, rerr := mem.Read(ctx, n.cfg.Self, n.cfg.Region, slotRegister(q), readStamp)
 			if rerr != nil {
 				reads <- readResult{err: rerr}
 				return
@@ -490,7 +556,7 @@ func (n *Node) runPhase2(ctx context.Context, ballot types.ProposalNumber, value
 	results := make(chan memoryPhaseResult, len(n.cfg.Memories))
 	for _, mem := range n.cfg.Memories {
 		go func(mem *memsim.Memory) {
-			stamp, werr := mem.Write(opCtx, n.cfg.Self, Region, slotRegister(n.cfg.Self), blob, invoked)
+			stamp, werr := mem.Write(opCtx, n.cfg.Self, n.cfg.Region, slotRegister(n.cfg.Self), blob, invoked)
 			res := memoryPhaseResult{mem: mem.ID(), stamp: stamp}
 			switch {
 			case werr == nil:
@@ -551,5 +617,5 @@ func (n *Node) broadcastDecision(v types.Value) {
 	if n.cfg.Endpoint == nil {
 		return
 	}
-	_ = n.cfg.Endpoint.Broadcast(DecideKind, v, n.cfg.Clock.Now())
+	_ = n.cfg.Endpoint.Broadcast(n.cfg.DecideKind, v, n.cfg.Clock.Now())
 }

@@ -1,0 +1,154 @@
+// Package shard routes keys across independent replicated-log groups with a
+// deterministic consistent-hash ring.
+//
+// A Ring places a configurable number of virtual nodes per shard on a 64-bit
+// hash circle (FNV-1a) and maps each key to the first virtual node at or
+// after the key's hash, clockwise. Virtual nodes smooth the load across
+// shards; determinism (no randomness, stable tie-breaking) guarantees that
+// every client of the same configuration routes every key identically, which
+// is what lets independent sharded-KV frontends share one set of log groups.
+//
+// Consistent hashing's defining property is minimal movement: adding or
+// removing one shard remaps only the keys that land on that shard's virtual
+// nodes (an expected 1/S fraction), leaving every other key's route intact —
+// the precondition for live shard rebalancing.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring positions per shard when Options
+// leave it zero. 160 keeps the shard-to-shard load spread within a few
+// percent for realistic key counts.
+const DefaultVirtualNodes = 160
+
+// Ring is an immutable-by-convention consistent-hash ring: Add and Remove
+// mutate it, Shard only reads. It is not safe for concurrent mutation; wrap
+// it in a lock or treat it as fixed after construction (the sharded KV does
+// the latter).
+type Ring struct {
+	vnodes int
+	points []point  // sorted by hash, ties broken by shard name
+	shards []string // sorted shard names
+}
+
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// New builds a ring over the given shard names with vnodes virtual nodes per
+// shard. vnodes ≤ 0 means DefaultVirtualNodes. Duplicate shard names are
+// collapsed.
+func New(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, s := range shards {
+		r.Add(s)
+	}
+	return r
+}
+
+// Shards returns the shard names in sorted order.
+func (r *Ring) Shards() []string {
+	out := make([]string, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// Size returns the number of shards.
+func (r *Ring) Size() int { return len(r.shards) }
+
+// Add inserts a shard into the ring. Adding an existing shard is a no-op.
+func (r *Ring) Add(shard string) {
+	i := sort.SearchStrings(r.shards, shard)
+	if i < len(r.shards) && r.shards[i] == shard {
+		return
+	}
+	r.shards = append(r.shards, "")
+	copy(r.shards[i+1:], r.shards[i:])
+	r.shards[i] = shard
+
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{hash: hashKey(vnodeName(shard, v)), shard: shard})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a shard from the ring. Removing an unknown shard is a no-op.
+func (r *Ring) Remove(shard string) {
+	i := sort.SearchStrings(r.shards, shard)
+	if i >= len(r.shards) || r.shards[i] != shard {
+		return
+	}
+	r.shards = append(r.shards[:i], r.shards[i+1:]...)
+	kept := r.points[:0]
+	for _, pt := range r.points {
+		if pt.shard != shard {
+			kept = append(kept, pt)
+		}
+	}
+	r.points = kept
+}
+
+// Shard returns the shard responsible for key: the first virtual node at or
+// clockwise after the key's hash. It returns "" on an empty ring.
+func (r *Ring) Shard(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+// sortPoints restores the ring order: by hash, with the shard name breaking
+// the (astronomically rare) 64-bit collisions deterministically.
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// vnodeName names virtual node v of a shard on the circle.
+func vnodeName(shard string, v int) string {
+	return fmt.Sprintf("%s#%d", shard, v)
+}
+
+// hashKey is the ring's hash function: 64-bit FNV-1a finished with murmur3's
+// fmix64 avalanche. Plain FNV-1a clusters badly on short structured names
+// like "shard-3#17" (arc shares off by 2x in practice); the finalizer spreads
+// those inputs uniformly around the circle. Fast, dependency-free and fully
+// deterministic across processes and runs (unlike Go's seeded map hash).
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ShardNames generates the canonical names of n shards ("shard-0" …
+// "shard-<n-1>"), the naming the sharded KV and the benchmarks use.
+func ShardNames(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("shard-%d", i))
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeterministicMapping builds the same ring twice and checks that every
+// key maps identically — the property that lets independent clients of one
+// configuration agree on routing without coordination.
+func TestDeterministicMapping(t *testing.T) {
+	a := New(ShardNames(5), 0)
+	b := New(ShardNames(5), 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := a.Shard(key), b.Shard(key); got != want {
+			t.Fatalf("ring disagreement on %q: %q vs %q", key, got, want)
+		}
+	}
+}
+
+// TestConstructionOrderIrrelevant checks that the mapping depends only on the
+// shard set, not on the order shards were added.
+func TestConstructionOrderIrrelevant(t *testing.T) {
+	a := New([]string{"shard-0", "shard-1", "shard-2"}, 64)
+	b := New([]string{"shard-2", "shard-0", "shard-1"}, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := a.Shard(key), b.Shard(key); got != want {
+			t.Fatalf("order-dependent mapping on %q: %q vs %q", key, got, want)
+		}
+	}
+}
+
+// TestDistributionBalance spreads ≥10k keys over the ring and checks every
+// shard's load is within tolerance of the ideal share.
+func TestDistributionBalance(t *testing.T) {
+	const keys = 20000
+	const shards = 8
+	r := New(ShardNames(shards), 0)
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("user/%d/profile", i))]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("keys landed on %d shards, want %d", len(counts), shards)
+	}
+	ideal := float64(keys) / shards
+	for shard, n := range counts {
+		ratio := float64(n) / ideal
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("shard %s holds %d keys (%.2fx the ideal %d): imbalance beyond ±50%%", shard, n, ratio, int(ideal))
+		}
+	}
+}
+
+// TestMinimalMovementOnAdd checks consistent hashing's defining property:
+// growing the ring from S to S+1 shards remaps roughly 1/(S+1) of the keys
+// and never moves a key between two pre-existing shards.
+func TestMinimalMovementOnAdd(t *testing.T) {
+	const keys = 10000
+	before := New(ShardNames(4), 0)
+	after := New(ShardNames(4), 0)
+	after.Add("shard-4")
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		src, dst := before.Shard(key), after.Shard(key)
+		if src == dst {
+			continue
+		}
+		moved++
+		if dst != "shard-4" {
+			t.Fatalf("key %q moved %q -> %q, not to the new shard", key, src, dst)
+		}
+	}
+	// Expected movement is keys/5 = 20%; allow generous slack around it.
+	if frac := float64(moved) / keys; frac < 0.05 || frac > 0.40 {
+		t.Errorf("adding a 5th shard moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+}
+
+// TestMinimalMovementOnRemove checks the symmetric property: removing a shard
+// only remaps the keys it owned.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	const keys = 10000
+	before := New(ShardNames(5), 0)
+	after := New(ShardNames(5), 0)
+	after.Remove("shard-2")
+
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		src, dst := before.Shard(key), after.Shard(key)
+		if src != "shard-2" && src != dst {
+			t.Fatalf("key %q moved %q -> %q although its shard was not removed", key, src, dst)
+		}
+		if src == "shard-2" && dst == "shard-2" {
+			t.Fatalf("key %q still maps to the removed shard", key)
+		}
+	}
+}
+
+// TestEmptyAndSingle covers the degenerate rings.
+func TestEmptyAndSingle(t *testing.T) {
+	empty := New(nil, 0)
+	if got := empty.Shard("anything"); got != "" {
+		t.Fatalf("empty ring routed to %q, want \"\"", got)
+	}
+	single := New([]string{"only"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := single.Shard(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-shard ring routed to %q", got)
+		}
+	}
+	single.Add("only") // duplicate add is a no-op
+	if single.Size() != 1 {
+		t.Fatalf("duplicate Add changed size to %d", single.Size())
+	}
+}

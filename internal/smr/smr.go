@@ -1,0 +1,559 @@
+// Package smr builds a replicated state-machine log on top of the single-shot
+// agreement protocols: one long-lived cluster serves an unbounded sequence of
+// consensus instances (slots), one decided batch of commands per slot.
+//
+// The paper's protocols decide a single value per deployment; serving real
+// traffic needs a log of decisions. A Log owns one core.Cluster and
+// multiplexes slots over its shared memories and network via
+// core.Cluster.NewInstance, so committing entry k+1 reuses every substrate
+// that committed entry k — no per-entry cluster construction, no per-entry
+// memory pools, no per-entry network goroutines.
+//
+// Commands submitted concurrently are batched: a committer goroutine drains
+// the queue and agrees on many commands as one slot value, so slot throughput
+// amortizes over batch size while each command still gets its own log index.
+// Batches preserve arrival order, which gives per-client FIFO: a client that
+// submits its commands in order observes them committed in order.
+package smr
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmaagreement/internal/core"
+	"rdmaagreement/internal/types"
+)
+
+// Options configure a Log.
+type Options struct {
+	// Protocol is the agreement protocol run per slot. It must be one of the
+	// slot-capable protocols (Protected Memory Paxos, Paxos, Fast Paxos).
+	// Empty means Protected Memory Paxos, the paper's 2-deciding crash
+	// algorithm.
+	Protocol core.Protocol
+	// Cluster describes the long-lived cluster (topology, failure bounds,
+	// timing).
+	Cluster core.Options
+	// MaxBatch bounds how many queued commands are agreed as one slot value.
+	// Zero means 64.
+	MaxBatch int
+	// SlotTimeout bounds the agreement of one slot. Zero means 30s.
+	SlotTimeout time.Duration
+	// ReplicaCatchUp bounds how long the committer waits for non-proposing
+	// replicas to learn an already-made decision before moving to the next
+	// slot (their learner keeps the value; the wait only orders the replica
+	// bookkeeping). Zero means 5s.
+	ReplicaCatchUp time.Duration
+	// OnCommit, if set, is called once per committed entry in index order
+	// from the committer goroutine. Callbacks must be fast; they serialize
+	// the log.
+	OnCommit func(Entry)
+}
+
+func (o *Options) applyDefaults() {
+	if o.Protocol == "" {
+		o.Protocol = core.ProtocolProtectedMemoryPaxos
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.SlotTimeout <= 0 {
+		o.SlotTimeout = 30 * time.Second
+	}
+	if o.ReplicaCatchUp <= 0 {
+		o.ReplicaCatchUp = 5 * time.Second
+	}
+}
+
+// Entry is one committed command.
+type Entry struct {
+	// Index is the command's position in the replicated log (0-based,
+	// gap-free).
+	Index uint64
+	// Slot is the consensus instance whose decided batch contained the
+	// command.
+	Slot uint64
+	// Cmd is the command payload.
+	Cmd []byte
+}
+
+// wireBatch is the value agreed on per slot: an ordered batch of commands
+// tagged with their submitting log's identity, so a proposer can tell whether
+// the decided batch is its own.
+//
+// With today's single committer per group the decided batch is always the
+// proposed one; the origin/ID plumbing is the safety net for the multi-
+// proposer setups the slots already support (core.Instance allows concurrent
+// proposers, and per-shard leases are a ROADMAP follow-up): a slot lost to a
+// competitor must commit the competitor's batch and retry ours, never
+// mislabel it.
+type wireBatch struct {
+	Origin uint64   `json:"origin"`
+	IDs    []uint64 `json:"ids"`
+	Cmds   [][]byte `json:"cmds"`
+}
+
+func (b wireBatch) encode() (types.Value, error) {
+	out, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("encode batch: %w", err)
+	}
+	return out, nil
+}
+
+func decodeBatch(raw types.Value) (wireBatch, error) {
+	var b wireBatch
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return wireBatch{}, fmt.Errorf("decode batch: %w", err)
+	}
+	if len(b.IDs) != len(b.Cmds) {
+		return wireBatch{}, fmt.Errorf("decode batch: %d ids for %d commands", len(b.IDs), len(b.Cmds))
+	}
+	return b, nil
+}
+
+// queued is one command waiting for a slot.
+type queued struct {
+	id   uint64
+	cmd  []byte
+	done chan applyResult
+}
+
+type applyResult struct {
+	index uint64
+	err   error
+}
+
+// Log is a sharded-log group: one long-lived cluster plus the committer that
+// multiplexes slots over it. All methods are safe for concurrent use.
+type Log struct {
+	opts    Options
+	cluster *core.Cluster
+	origin  uint64
+
+	mu       sync.Mutex
+	pending  []queued
+	nextID   uint64
+	entries  []Entry
+	slots    []types.Value                           // decided value per slot, in slot order
+	replicas map[types.ProcID]map[uint64]types.Value // slot values learned per replica
+	lagging  map[types.ProcID]bool                   // replicas that missed a catch-up window
+	closed   bool
+	failure  error // set when the committer halts on an ambiguous slot
+
+	notify chan struct{}
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// originCounter gives each Log a process-wide unique origin tag for its
+// batches.
+var originCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func nextOrigin() uint64 {
+	originCounter.mu.Lock()
+	defer originCounter.mu.Unlock()
+	originCounter.n++
+	return originCounter.n
+}
+
+// NewLog builds the long-lived cluster and starts the committer.
+func NewLog(opts Options) (*Log, error) {
+	opts.applyDefaults()
+	// The log drives only per-slot instances; skip the cluster's single-shot
+	// proposer nodes so a group does not carry idle base nodes for its
+	// lifetime.
+	opts.Cluster.InstancesOnly = true
+	cluster, err := core.NewCluster(opts.Protocol, opts.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("smr log: %w", err)
+	}
+	// Fail fast if the protocol cannot multiplex slots: build and discard a
+	// probe instance rather than failing on the first Apply.
+	probe, err := cluster.NewInstance(0)
+	if err != nil {
+		cluster.Close()
+		return nil, fmt.Errorf("smr log: %w", err)
+	}
+	probe.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Log{
+		opts:     opts,
+		cluster:  cluster,
+		origin:   nextOrigin(),
+		replicas: make(map[types.ProcID]map[uint64]types.Value, len(cluster.Procs)),
+		lagging:  make(map[types.ProcID]bool),
+		notify:   make(chan struct{}, 1),
+		cancel:   cancel,
+	}
+	for _, p := range cluster.Procs {
+		l.replicas[p] = make(map[uint64]types.Value)
+	}
+	l.wg.Add(1)
+	go l.commitLoop(ctx)
+	return l, nil
+}
+
+// Cluster exposes the underlying long-lived cluster (for fault injection in
+// tests and experiments).
+func (l *Log) Cluster() *core.Cluster { return l.cluster }
+
+// Close stops the committer and the cluster. Pending commands fail with an
+// error.
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	pending := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+
+	l.cancel()
+	l.wg.Wait()
+	for _, q := range pending {
+		q.done <- applyResult{err: fmt.Errorf("smr log: closed before command committed")}
+	}
+	l.cluster.Close()
+}
+
+// Apply submits one command and blocks until it is committed, returning its
+// log index. Commands submitted by one goroutine in sequence are committed in
+// that sequence (per-client FIFO). If ctx expires first, Apply returns the
+// context error, but the command may still commit later (it cannot be
+// withdrawn once proposed).
+func (l *Log) Apply(ctx context.Context, cmd []byte) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("smr log: closed")
+	}
+	if l.failure != nil {
+		err := l.failure
+		l.mu.Unlock()
+		return 0, fmt.Errorf("smr log halted: %w", err)
+	}
+	l.nextID++
+	q := queued{id: l.nextID, cmd: append([]byte(nil), cmd...), done: make(chan applyResult, 1)}
+	l.pending = append(l.pending, q)
+	l.mu.Unlock()
+
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+
+	select {
+	case res := <-q.done:
+		return res.index, res.err
+	case <-ctx.Done():
+		return 0, fmt.Errorf("smr apply: %w", ctx.Err())
+	}
+}
+
+// Len returns the number of committed commands.
+func (l *Log) Len() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.entries))
+}
+
+// Get returns the committed entry at index i.
+func (l *Log) Get(i uint64) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i >= uint64(len(l.entries)) {
+		return Entry{}, false
+	}
+	return cloneEntry(l.entries[i]), true
+}
+
+// Entries returns a copy of the committed suffix starting at index from —
+// the catch-up read used by learners that fell behind.
+func (l *Log) Entries(from uint64) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= uint64(len(l.entries)) {
+		return nil
+	}
+	out := make([]Entry, 0, uint64(len(l.entries))-from)
+	for _, e := range l.entries[from:] {
+		out = append(out, cloneEntry(e))
+	}
+	return out
+}
+
+func cloneEntry(e Entry) Entry {
+	return Entry{Index: e.Index, Slot: e.Slot, Cmd: append([]byte(nil), e.Cmd...)}
+}
+
+// Slots returns the number of decided slots.
+func (l *Log) Slots() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.slots))
+}
+
+// ReplicaLog returns the command sequence process p has learned, by decoding
+// the slot values recorded at p in slot order. The boolean reports whether
+// p's view is gap-free through every decided slot; a lagging replica (one
+// that missed a decide broadcast within the catch-up bound) yields false.
+func (l *Log) ReplicaLog(p types.ProcID) ([][]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	learned, ok := l.replicas[p]
+	if !ok {
+		return nil, false
+	}
+	var out [][]byte
+	for slot := uint64(0); slot < uint64(len(l.slots)); slot++ {
+		raw, ok := learned[slot]
+		if !ok {
+			return out, false
+		}
+		b, err := decodeBatch(raw)
+		if err != nil {
+			return out, false
+		}
+		for _, cmd := range b.Cmds {
+			out = append(out, append([]byte(nil), cmd...))
+		}
+	}
+	return out, true
+}
+
+// commitLoop is the committer: it drains the queue into batches and agrees on
+// one batch per slot.
+func (l *Log) commitLoop(ctx context.Context) {
+	defer l.wg.Done()
+	for {
+		batch := l.takeBatch()
+		if batch == nil {
+			select {
+			case <-ctx.Done():
+				l.fail(ctx.Err())
+				return
+			case <-l.notify:
+				continue
+			}
+		}
+		if err := l.commitBatch(ctx, batch); err != nil {
+			// The failed slot's outcome is ambiguous: the batch's value may
+			// already be durable in the slot's region (a phase-2 write can
+			// reach a quorum before the timeout fires), in which case a
+			// retry at the same slot would re-decide the old batch under a
+			// new batch's name. The log can neither retry the slot with a
+			// different batch nor skip it without risking a gap, so the
+			// group halts; recovery (re-reading the slot to learn its fate)
+			// is a ROADMAP follow-up.
+			for _, q := range batch {
+				q.done <- applyResult{err: err}
+			}
+			l.fail(err)
+			return
+		}
+	}
+}
+
+// takeBatch removes up to MaxBatch commands from the queue.
+func (l *Log) takeBatch() []queued {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil
+	}
+	n := len(l.pending)
+	if n > l.opts.MaxBatch {
+		n = l.opts.MaxBatch
+	}
+	batch := l.pending[:n:n]
+	l.pending = append([]queued(nil), l.pending[n:]...)
+	return batch
+}
+
+// fail permanently halts the log: the cause is recorded (subsequent Apply
+// calls error immediately) and every queued command is told. Setting failure
+// and draining the queue happen in one critical section, so an Apply either
+// enqueues before the drain (and is drained) or observes the failure.
+func (l *Log) fail(cause error) {
+	l.mu.Lock()
+	if l.failure == nil {
+		l.failure = cause
+	}
+	pending := l.pending
+	l.pending = nil
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return // Close already owns the pending queue
+	}
+	for _, q := range pending {
+		q.done <- applyResult{err: fmt.Errorf("smr log halted: %w", cause)}
+	}
+}
+
+// commitBatch agrees on the batch in the next slot. If a competing proposer's
+// batch wins the slot instead, the foreign batch is committed at this slot
+// and ours is retried at the next one, preserving its internal order.
+func (l *Log) commitBatch(ctx context.Context, batch []queued) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("smr commit: %w", err)
+		}
+		proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(batch)), Cmds: make([][]byte, 0, len(batch))}
+		for _, q := range batch {
+			proposal.IDs = append(proposal.IDs, q.id)
+			proposal.Cmds = append(proposal.Cmds, q.cmd)
+		}
+		blob, err := proposal.encode()
+		if err != nil {
+			return err
+		}
+
+		l.mu.Lock()
+		slot := uint64(len(l.slots))
+		l.mu.Unlock()
+
+		decided, err := l.runSlot(ctx, slot, blob)
+		if err != nil {
+			return err
+		}
+		won, err := l.recordSlot(slot, decided, batch)
+		if err != nil {
+			return err
+		}
+		if won {
+			return nil
+		}
+		// A foreign batch occupied the slot; retry ours at the next slot.
+	}
+}
+
+// runSlot drives one consensus instance over the long-lived cluster: the
+// leader process proposes, every other process learns, and the instance's
+// live resources are released before returning.
+func (l *Log) runSlot(ctx context.Context, slot uint64, blob types.Value) (types.Value, error) {
+	slotCtx, cancel := context.WithTimeout(ctx, l.opts.SlotTimeout)
+	defer cancel()
+
+	inst, err := l.cluster.NewInstance(slot)
+	if err != nil {
+		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	defer inst.Close()
+
+	leader := l.cluster.Leader()
+	res, err := inst.Proposer(leader).Propose(slotCtx, blob)
+	if err != nil {
+		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	l.recordReplica(leader, slot, res.Value)
+
+	// Wait — in parallel, under one shared budget — for the remaining
+	// replicas to learn the decision, so every replica's log advances in
+	// lock step. A replica that misses its window (for example a crashed
+	// process) is marked lagging and never waited for again: otherwise a
+	// single crashed replica — the very fault the protocols tolerate —
+	// would cost the full catch-up timeout on EVERY subsequent slot.
+	// Lagging replicas show the gap in ReplicaLog and catch up off the hot
+	// path via Entries().
+	catchUp, cancelCatchUp := context.WithTimeout(ctx, l.opts.ReplicaCatchUp)
+	defer cancelCatchUp()
+	var wg sync.WaitGroup
+	for _, p := range l.cluster.Procs {
+		if p == leader || l.isLagging(p) {
+			continue
+		}
+		wg.Add(1)
+		go func(p types.ProcID) {
+			defer wg.Done()
+			v, err := inst.Proposer(p).WaitDecision(catchUp)
+			if err != nil {
+				l.markLagging(p)
+				return
+			}
+			l.recordReplica(p, slot, v)
+		}(p)
+	}
+	wg.Wait()
+	return res.Value, nil
+}
+
+func (l *Log) isLagging(p types.ProcID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lagging[p]
+}
+
+func (l *Log) markLagging(p types.ProcID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lagging[p] = true
+}
+
+func (l *Log) recordReplica(p types.ProcID, slot uint64, v types.Value) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.replicas[p][slot] = v.Clone()
+}
+
+// recordSlot appends the decided batch to the committed log and resolves the
+// waiters whose commands it contains. It reports whether the proposed batch
+// won the slot.
+func (l *Log) recordSlot(slot uint64, decided types.Value, batch []queued) (bool, error) {
+	b, err := decodeBatch(decided)
+	if err != nil {
+		return false, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+
+	l.mu.Lock()
+	l.slots = append(l.slots, decided.Clone())
+	committed := make([]Entry, 0, len(b.Cmds))
+	for _, cmd := range b.Cmds {
+		e := Entry{Index: uint64(len(l.entries)), Slot: slot, Cmd: append([]byte(nil), cmd...)}
+		l.entries = append(l.entries, e)
+		committed = append(committed, e)
+	}
+	onCommit := l.opts.OnCommit
+	l.mu.Unlock()
+
+	if onCommit != nil {
+		for _, e := range committed {
+			onCommit(cloneEntry(e))
+		}
+	}
+
+	won := b.Origin == l.origin
+	if won {
+		ids := make(map[uint64]uint64, len(b.IDs)) // command id -> entry index
+		for i, id := range b.IDs {
+			ids[id] = committed[i].Index
+		}
+		// Validate the whole batch before resolving any waiter: each done
+		// channel holds exactly one result, so a mid-loop error after some
+		// sends would leave commitLoop's error path double-sending into
+		// full buffers (a committer deadlock). Either every command
+		// resolves here or none does and the error path owns them all.
+		results := make([]applyResult, len(batch))
+		for i, q := range batch {
+			index, ok := ids[q.id]
+			if !ok {
+				return false, fmt.Errorf("smr slot %d: own batch decided without command %d", slot, q.id)
+			}
+			results[i] = applyResult{index: index}
+		}
+		for i, q := range batch {
+			q.done <- results[i]
+		}
+	}
+	return won, nil
+}

@@ -3,7 +3,7 @@
 // "The Impact of RDMA on Agreement" (Aguilera, Ben-David, Guerraoui, Marathe,
 // Zablotchi — PODC 2019).
 //
-// The package exposes three layers:
+// The package exposes four layers:
 //
 //   - Cluster construction (NewCluster): wire a complete deployment of any of
 //     the implemented protocols — the paper's Fast & Robust and Protected
@@ -12,6 +12,11 @@
 //     network.
 //   - Proposals (Cluster.Proposer(p).Propose): drive consensus instances and
 //     observe decisions, causal delay counts and fast-path usage.
+//   - Replication (NewLog, NewShardedKV): turn the single-shot protocols into
+//     a replicated state-machine log — one long-lived cluster multiplexing an
+//     unbounded sequence of slots, with command batching — and shard keys
+//     across independent log groups on a consistent-hash ring for horizontal
+//     throughput.
 //   - Experiments (Experiments, ExperimentIDs): regenerate the tables in
 //     EXPERIMENTS.md that reproduce the paper's quantitative claims.
 //

@@ -65,3 +65,61 @@ func TestPublicAPIRecorder(t *testing.T) {
 		t.Fatalf("recorder captured no decision events")
 	}
 }
+
+func TestPublicAPILog(t *testing.T) {
+	l, err := NewLog(LogOptions{Cluster: Options{Processes: 3, Memories: 3}})
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		index, err := l.Apply(ctx, []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Apply(%d): %v", i, err)
+		}
+		if index != uint64(i) {
+			t.Fatalf("Apply(%d): index = %d, want %d", i, index, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", l.Len())
+	}
+}
+
+func TestPublicAPIShardedKV(t *testing.T) {
+	kv, err := NewShardedKV(ShardedKVOptions{
+		Shards: 2,
+		Log:    LogOptions{Cluster: Options{Processes: 3, Memories: 3}},
+	})
+	if err != nil {
+		t.Fatalf("NewShardedKV: %v", err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	for i, k := range keys {
+		shardName, _, err := kv.Put(ctx, k, k+"-value")
+		if err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+		if shardName != kv.Shard(k) {
+			t.Fatalf("Put(%s) committed on %s, ring routes to %s", k, shardName, kv.Shard(k))
+		}
+		if got := kv.Len(); got != uint64(i+1) {
+			t.Fatalf("Len() = %d after %d puts", got, i+1)
+		}
+	}
+	for _, k := range keys {
+		v, ok := kv.Get(k)
+		if !ok || v != k+"-value" {
+			t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatalf("Get(missing) found a value")
+	}
+}
