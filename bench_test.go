@@ -243,8 +243,8 @@ func BenchmarkLogAppend(b *testing.B) {
 		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := l.Apply(ctx, []byte("bench")); err != nil {
-				b.Fatalf("Apply: %v", err)
+			if _, _, err := l.Propose(ctx, []byte("bench")); err != nil {
+				b.Fatalf("Propose: %v", err)
 			}
 		}
 		b.StopTimer()
@@ -257,8 +257,8 @@ func BenchmarkLogAppend(b *testing.B) {
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
-				if _, err := l.Apply(ctx, []byte("bench")); err != nil {
-					b.Errorf("Apply: %v", err) // Fatalf must not run off the benchmark goroutine
+				if _, _, err := l.Propose(ctx, []byte("bench")); err != nil {
+					b.Errorf("Propose: %v", err) // Fatalf must not run off the benchmark goroutine
 					return
 				}
 			}
@@ -309,4 +309,47 @@ func BenchmarkShardedKV(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkLogRead measures the two read paths of a replicated state-machine
+// group: Read pays a read-index barrier (one no-op slot commit, or a ride on
+// a concurrent batch), StaleRead answers from the leader's local view with
+// no consensus round at all.
+func BenchmarkLogRead(b *testing.B) {
+	newReadLog := func(b *testing.B) *Log {
+		b.Helper()
+		l, err := NewLog(LogOptions{
+			Cluster: Options{Processes: 3, Memories: 3},
+			NewSM:   func() StateMachine { return &counterMachine{} },
+		})
+		if err != nil {
+			b.Fatalf("NewLog: %v", err)
+		}
+		b.Cleanup(l.Close)
+		ctx := context.Background()
+		if _, _, err := l.Propose(ctx, []byte("seed")); err != nil {
+			b.Fatalf("Propose: %v", err)
+		}
+		return l
+	}
+	b.Run("linearizable", func(b *testing.B) {
+		l := newReadLog(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Read(ctx, nil); err != nil {
+				b.Fatalf("Read: %v", err)
+			}
+		}
+	})
+	b.Run("stale", func(b *testing.B) {
+		l := newReadLog(b)
+		leader := l.Cluster().Leader()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.StaleRead(leader, nil); err != nil {
+				b.Fatalf("StaleRead: %v", err)
+			}
+		}
+	})
 }

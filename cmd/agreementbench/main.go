@@ -13,6 +13,8 @@
 //	agreementbench -table e1         # run a single experiment (e1..e6, e8, e9)
 //	agreementbench -shards 4         # sharded-log throughput, 4 groups
 //	agreementbench -shards 4 -batch 8 -ops 2000 -clients 64 -latency 1ms
+//	agreementbench -shards 2 -snap-interval 64   # snapshot-driven slot GC: report live regions
+//	agreementbench -shards 2 -reads 200          # read-index (linearizable) read latency
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,11 +36,13 @@ func main() {
 	ops := flag.Int("ops", 1000, "throughput mode: total puts to commit")
 	clients := flag.Int("clients", 32, "throughput mode: concurrent client goroutines")
 	latency := flag.Duration("latency", time.Millisecond, "throughput mode: simulated per-operation memory latency")
+	reads := flag.Int("reads", 0, "throughput mode: linearizable (read-index) reads to issue after the puts, reporting their latency")
+	snapInterval := flag.Int("snap-interval", 0, "throughput mode: per-group snapshot interval driving slot GC (0 = smr default, <0 disables)")
 	flag.Parse()
 
 	var err error
 	if *shards > 0 {
-		err = runThroughput(*shards, *batch, *ops, *clients, *latency)
+		err = runThroughput(*shards, *batch, *ops, *clients, *latency, *reads, *snapInterval)
 	} else {
 		err = run(*table)
 	}
@@ -75,13 +80,15 @@ func runOne(id string, runner func() (rdmaagreement.Table, error)) error {
 }
 
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
-// reports aggregate throughput plus per-group batching statistics.
-func runThroughput(shards, batch, ops, clients int, latency time.Duration) error {
+// reports aggregate throughput, per-group batching statistics, the
+// snapshot/slot-GC footprint and (with -reads) linearizable read latency.
+func runThroughput(shards, batch, ops, clients int, latency time.Duration, reads, snapInterval int) error {
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
 		Shards: shards,
 		Log: rdmaagreement.LogOptions{
-			Cluster:  rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: latency},
-			MaxBatch: batch,
+			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: latency},
+			MaxBatch:         batch,
+			SnapshotInterval: snapInterval,
 		},
 	})
 	if err != nil {
@@ -143,6 +150,45 @@ producer:
 	}
 	if slots > 0 {
 		fmt.Printf("  batching amortization: %.1f commands per consensus slot overall\n", float64(ops)/float64(slots))
+	}
+
+	var snapshots, liveRegions int
+	var firstIndex uint64
+	for _, name := range kv.Shards() {
+		l := kv.ShardLog(name)
+		snapshots += l.Snapshots()
+		liveRegions += l.Cluster().LiveRegions()
+		firstIndex += l.FirstIndex()
+	}
+	fmt.Printf("  slot GC: %d snapshots, %d entries truncated, %d live memory regions for %d total slots\n",
+		snapshots, firstIndex, liveRegions, slots)
+
+	if reads > 0 {
+		keySpace := ops
+		if keySpace < 1 {
+			keySpace = 1 // reads-only invocation (-ops 0): probe one key
+		}
+		latencies := make([]time.Duration, 0, reads)
+		readStart := time.Now()
+		for i := 0; i < reads; i++ {
+			key := fmt.Sprintf("key/%d", i%keySpace)
+			t0 := time.Now()
+			if _, _, err := kv.GetLinearizable(ctx, key); err != nil {
+				return fmt.Errorf("linearizable read: %w", err)
+			}
+			latencies = append(latencies, time.Since(t0))
+		}
+		readElapsed := time.Since(readStart)
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, d := range latencies {
+			sum += d
+		}
+		fmt.Printf("  linearizable reads: %d in %s (%.0f reads/sec), latency mean %s / p50 %s / p99 %s\n",
+			reads, readElapsed.Round(time.Millisecond), float64(reads)/readElapsed.Seconds(),
+			(sum / time.Duration(reads)).Round(time.Microsecond),
+			latencies[len(latencies)/2].Round(time.Microsecond),
+			latencies[len(latencies)*99/100].Round(time.Microsecond))
 	}
 	return nil
 }

@@ -1,17 +1,20 @@
 // Replicated KV: a crash-tolerant replicated key-value store built on the
-// replicated-log subsystem (package smr) over Protected Memory Paxos.
+// replicated state-machine subsystem (package smr) over Protected Memory
+// Paxos.
 //
-// One long-lived cluster commits the entire workload: every log entry is one
-// consensus slot multiplexed over the same memories and network, so the
-// store pays the paper's two delays per slot without rebuilding anything
-// between entries. The store survives the crash of all processes but one
-// (n ≥ f_P + 1) and of a minority of memories (m ≥ 2f_M + 1) — Theorem 5.1's
-// resilience — demonstrated below by crashing two of the five memories
-// mid-workload and committing straight through it.
+// The first half plugs a custom StateMachine — a tiny versioned session store
+// written for this example — into one long-lived log group: Propose returns
+// the machine's response for each command, Read serves linearizable queries
+// through a read-index (no-op slot) barrier, and every SnapshotInterval
+// entries the committer snapshots the machine and truncates the decided slot
+// prefix, releasing its memory regions. The group survives the crash of a
+// minority of memories (m ≥ 2f_M + 1, Theorem 5.1), demonstrated by crashing
+// two of the five memories mid-workload and committing straight through it.
 //
-// The second half shards a key space across independent log groups with a
-// consistent-hash ring (rdmaagreement.NewShardedKV): unrelated keys commit in
-// parallel, so aggregate throughput scales with the shard count.
+// The second half uses ShardedKV — itself just a thin client of the same
+// generic layer (rdmaagreement.NewSharded) — to spread a key space across
+// independent log groups with a consistent-hash ring: unrelated keys commit
+// in parallel, so aggregate throughput scales with the shard count.
 package main
 
 import (
@@ -19,16 +22,58 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
 	"rdmaagreement"
 )
 
-// command is one state-machine operation appended to the replicated log.
-type command struct {
-	Key   string `json:"key"`
-	Value string `json:"value"`
+// sessionStore is the example's custom StateMachine: a key-value map that
+// versions every write. It shows everything a workload plugs in: Apply
+// (command → response), Query (reads), Snapshot/Restore (slot GC and
+// lagging-replica catch-up). The owning log serializes all calls.
+type sessionStore struct {
+	Sessions map[string]string `json:"sessions"`
+	Versions map[string]int    `json:"versions"`
+}
+
+func newSessionStore() rdmaagreement.StateMachine {
+	return &sessionStore{Sessions: make(map[string]string), Versions: make(map[string]int)}
+}
+
+// Apply executes "key=value" commands and responds with the new version.
+func (s *sessionStore) Apply(e rdmaagreement.LogEntry) ([]byte, error) {
+	key, value, ok := strings.Cut(string(e.Cmd), "=")
+	if !ok {
+		return nil, fmt.Errorf("session store: malformed command %q", e.Cmd)
+	}
+	s.Sessions[key] = value
+	s.Versions[key]++
+	return []byte(fmt.Sprintf("v%d", s.Versions[key])), nil
+}
+
+// Query answers "key" with "value@version".
+func (s *sessionStore) Query(query []byte) ([]byte, error) {
+	key := string(query)
+	v, ok := s.Sessions[key]
+	if !ok {
+		return nil, nil
+	}
+	return []byte(fmt.Sprintf("%s@v%d", v, s.Versions[key])), nil
+}
+
+func (s *sessionStore) Snapshot() ([]byte, error) { return json.Marshal(s) }
+
+func (s *sessionStore) Restore(snapshot []byte, _ uint64) error {
+	fresh := sessionStore{Sessions: make(map[string]string), Versions: make(map[string]int)}
+	if len(snapshot) > 0 {
+		if err := json.Unmarshal(snapshot, &fresh); err != nil {
+			return err
+		}
+	}
+	*s = fresh
+	return nil
 }
 
 func main() {
@@ -39,39 +84,19 @@ func main() {
 	shardedGroups(ctx)
 }
 
-// singleGroup drives one replicated-log group end to end: 120 committed
-// entries through a single long-lived cluster, with a mid-workload memory
-// failure.
+// singleGroup drives one replicated state-machine group end to end: 120
+// committed entries through a single long-lived cluster, with a mid-workload
+// memory failure, snapshot-driven slot GC and a linearizable read.
 func singleGroup(ctx context.Context) {
-	state := make(map[string]string)
-	var mu sync.Mutex
-
 	rlog, err := rdmaagreement.NewLog(rdmaagreement.LogOptions{
-		Cluster: rdmaagreement.Options{Processes: 3, Memories: 5},
-		OnCommit: func(e rdmaagreement.LogEntry) {
-			var cmd command
-			if err := json.Unmarshal(e.Cmd, &cmd); err != nil {
-				return
-			}
-			mu.Lock()
-			state[cmd.Key] = cmd.Value
-			mu.Unlock()
-		},
+		Cluster:          rdmaagreement.Options{Processes: 3, Memories: 5},
+		NewSM:            newSessionStore,
+		SnapshotInterval: 32, // snapshot + truncate every 32 entries
 	})
 	if err != nil {
 		log.Fatalf("replicated-kv: %v", err)
 	}
 	defer rlog.Close()
-
-	commit := func(cmd command) {
-		blob, err := json.Marshal(cmd)
-		if err != nil {
-			log.Fatalf("replicated-kv: encode: %v", err)
-		}
-		if _, err := rlog.Apply(ctx, blob); err != nil {
-			log.Fatalf("replicated-kv: apply: %v", err)
-		}
-	}
 
 	start := time.Now()
 	const entries = 120
@@ -82,30 +107,38 @@ func singleGroup(ctx context.Context) {
 			crashed := rlog.Cluster().CrashMemories(2)
 			fmt.Printf("log[%d]: crashed memories %v, committing through it\n", i, crashed)
 		}
-		commit(command{Key: fmt.Sprintf("user/%d", i%10), Value: fmt.Sprintf("v%d", i)})
+		cmd := fmt.Sprintf("user/%d=v%d", i%10, i)
+		if _, _, err := rlog.Propose(ctx, []byte(cmd)); err != nil {
+			log.Fatalf("replicated-kv: propose: %v", err)
+		}
 	}
 	elapsed := time.Since(start)
 
 	fmt.Printf("committed %d entries over %d slots through ONE long-lived cluster in %s (%.0f entries/s)\n",
 		rlog.Len(), rlog.Slots(), elapsed.Round(time.Millisecond), float64(rlog.Len())/elapsed.Seconds())
+	fmt.Printf("slot GC: %d snapshots taken, first retained index %d, %d live memory regions (bounded, not %d slots' worth)\n",
+		rlog.Snapshots(), rlog.FirstIndex(), rlog.Cluster().LiveRegions(), rlog.Slots())
 
-	mu.Lock()
-	fmt.Println("final state (last write per key):")
-	for i := 0; i < 10; i++ {
-		k := fmt.Sprintf("user/%d", i)
-		fmt.Printf("  %s = %q\n", k, state[k])
+	// A linearizable read: the read-index barrier guarantees it observes
+	// every Propose that returned above.
+	resp, err := rlog.Read(ctx, []byte("user/9"))
+	if err != nil {
+		log.Fatalf("replicated-kv: read: %v", err)
 	}
-	mu.Unlock()
+	fmt.Printf("linearizable read: user/9 = %s\n", resp)
+	if stale, err := rlog.StaleRead(rlog.Cluster().Leader(), []byte("user/9")); err == nil {
+		fmt.Printf("stale read (leader view, no barrier): user/9 = %s\n", stale)
+	}
 
-	// Every replica applied the identical log.
+	// Every replica applied the identical log over the retained window.
 	for _, p := range rlog.Cluster().Procs {
-		replicaLog, gapFree := rlog.ReplicaLog(p)
-		fmt.Printf("replica %s learned %d commands (gap-free: %v)\n", p, len(replicaLog), gapFree)
+		applied, _ := rlog.ReplicaApplied(p)
+		fmt.Printf("replica %s applied %d commands (restored from snapshot %d times)\n", p, applied, rlog.Restores(p))
 	}
 }
 
 // shardedGroups spreads keys over independent log groups and commits to them
-// concurrently.
+// concurrently, through the ShardedKV thin client.
 func shardedGroups(ctx context.Context) {
 	const shards = 4
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
@@ -146,6 +179,9 @@ func shardedGroups(ctx context.Context) {
 	fmt.Printf("\nsharded: %d keys over %d groups in %s (%.0f puts/s), distribution: %v\n",
 		keys, shards, elapsed.Round(time.Millisecond), float64(keys)/elapsed.Seconds(), perShard)
 	if v, ok := kv.Get("session/7"); ok {
-		fmt.Printf("sharded: session/7 = %q via shard %s\n", v, kv.Shard("session/7"))
+		fmt.Printf("sharded: session/7 = %q via shard %s (stale read)\n", v, kv.Shard("session/7"))
+	}
+	if v, ok, err := kv.GetLinearizable(ctx, "session/7"); err == nil && ok {
+		fmt.Printf("sharded: session/7 = %q (linearizable)\n", v)
 	}
 }

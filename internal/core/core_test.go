@@ -125,3 +125,44 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Fatalf("crash-protocol defaults wrong: %+v", crash)
 	}
 }
+
+func TestReleaseInstanceFreesSlotRegions(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 3, Memories: 3, InstancesOnly: true})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	base := cluster.LiveRegions()
+	inst, err := cluster.NewInstance(7)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if got := cluster.LiveRegions(); got != base+3 {
+		t.Fatalf("LiveRegions() = %d after NewInstance, want %d (one slot region per memory)", got, base+3)
+	}
+	inst.Close() // stops nodes and subscriptions; the durable region stays
+	if got := cluster.LiveRegions(); got != base+3 {
+		t.Fatalf("LiveRegions() = %d after Close, want %d (Close must not drop the decided slot)", got, base+3)
+	}
+	if released := cluster.ReleaseInstance(7); released != 3 {
+		t.Fatalf("ReleaseInstance released %d regions, want 3", released)
+	}
+	if got := cluster.LiveRegions(); got != base {
+		t.Fatalf("LiveRegions() = %d after ReleaseInstance, want %d", got, base)
+	}
+	if released := cluster.ReleaseInstance(7); released != 0 {
+		t.Fatalf("second ReleaseInstance released %d regions, want 0", released)
+	}
+}
+
+func TestReleaseInstanceNoOpForMessagePassing(t *testing.T) {
+	cluster, err := NewCluster(ProtocolPaxos, Options{Processes: 3, Memories: 3, InstancesOnly: true})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	if released := cluster.ReleaseInstance(0); released != 0 {
+		t.Fatalf("ReleaseInstance on paxos released %d regions, want 0", released)
+	}
+}

@@ -103,6 +103,30 @@ func (i *Instance) Close() {
 	i.cleanups = nil
 }
 
+// ReleaseInstance releases the durable per-slot resources of consensus
+// instance slot across the cluster's memory pool, returning how many memories
+// held its region. It is the substrate half of replicated-log slot GC: after
+// the slot's decision has been captured in a state-machine snapshot, its
+// region (for Protected Memory Paxos, pmpaxos/slot/<n> on every memory) is
+// never read again and can be truncated. Message-passing protocols keep no
+// per-slot memory state — their live resources are already removed by
+// Instance.Close's unsubscribes — so ReleaseInstance is a no-op for them.
+//
+// Releasing a slot that still has live proposers is the caller's bug: their
+// reads and writes will fail with ErrUnknownRegion.
+func (c *Cluster) ReleaseInstance(slot uint64) int {
+	switch c.Protocol {
+	case ProtocolProtectedMemoryPaxos:
+		return c.Pool.ReleaseRegion(pmpaxos.RegionFor(slot))
+	default:
+		return 0
+	}
+}
+
+// LiveRegions sums the live memory-region counts across the cluster's pool —
+// the figure slot-GC bounds.
+func (c *Cluster) LiveRegions() int { return c.Pool.LiveRegions() }
+
 // --- per-protocol slot builders --------------------------------------------
 
 // pmPaxosSlotHandle adapts a per-slot Protected Memory Paxos node.

@@ -187,6 +187,31 @@ func (m *Memory) EnsureRegion(spec RegionSpec) bool {
 	return true
 }
 
+// ReleaseRegion removes a region and all its registers, reporting whether it
+// existed. It is the memory-side half of replicated-log slot GC: once a
+// slot's decision has been folded into a state-machine snapshot, its region
+// is dead weight and the committer releases it on every memory, so live
+// memory is bounded by the snapshot window instead of log length. Subsequent
+// operations on a released region fail with ErrUnknownRegion, exactly like a
+// region that never existed.
+func (m *Memory) ReleaseRegion(region types.RegionID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[region]; !ok {
+		return false
+	}
+	delete(m.regions, region)
+	return true
+}
+
+// LiveRegions returns the number of regions currently installed — the figure
+// slot-GC tests bound.
+func (m *Memory) LiveRegions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.regions)
+}
+
 // RegionPermission returns a copy of the current permission of region. It is
 // a diagnostic helper (the model itself does not expose permission reads; the
 // harness and tests use this to assert on permission state).
@@ -352,6 +377,29 @@ func (p *Pool) CrashQuorumSafe(n int) []types.MemID {
 		crashed = append(crashed, m.ID())
 	}
 	return crashed
+}
+
+// ReleaseRegion removes the region from every memory in the pool and returns
+// how many memories held it. Crashed memories still release: the region
+// bookkeeping is host-side state, not an RDMA operation, so truncation keeps
+// bounding memory even while a minority of memories is unresponsive.
+func (p *Pool) ReleaseRegion(region types.RegionID) int {
+	released := 0
+	for _, m := range p.mems {
+		if m.ReleaseRegion(region) {
+			released++
+		}
+	}
+	return released
+}
+
+// LiveRegions sums the live-region counts of every memory in the pool.
+func (p *Pool) LiveRegions() int {
+	total := 0
+	for _, m := range p.mems {
+		total += m.LiveRegions()
+	}
+	return total
 }
 
 // TotalOps sums the operation counters of every memory in the pool.

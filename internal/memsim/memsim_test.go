@@ -388,3 +388,53 @@ func TestDynamicRegion(t *testing.T) {
 		t.Fatalf("static region accepted unknown register")
 	}
 }
+
+func TestReleaseRegion(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	if got := m.LiveRegions(); got != 2 {
+		t.Fatalf("LiveRegions() = %d, want 2", got)
+	}
+	if !m.ReleaseRegion(regionA) {
+		t.Fatalf("ReleaseRegion(regionA) = false, want true")
+	}
+	if m.ReleaseRegion(regionA) {
+		t.Fatalf("second ReleaseRegion(regionA) = true, want false")
+	}
+	if got := m.LiveRegions(); got != 1 {
+		t.Fatalf("LiveRegions() = %d after release, want 1", got)
+	}
+	// A released region behaves exactly like one that never existed.
+	if _, _, err := m.Read(ctx, 1, regionA, regX, 0); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("Read on released region: err = %v, want ErrUnknownRegion", err)
+	}
+	if _, err := m.Write(ctx, 1, regionA, regX, types.Value("x"), 0); !errors.Is(err, types.ErrUnknownRegion) {
+		t.Fatalf("Write on released region: err = %v, want ErrUnknownRegion", err)
+	}
+	// Untouched regions keep serving.
+	if _, err := m.Write(ctx, 2, regionB, regY, types.Value("ok"), 0); err != nil {
+		t.Fatalf("Write on surviving region: %v", err)
+	}
+}
+
+func TestPoolReleaseRegionSurvivesCrashes(t *testing.T) {
+	layout := func(types.MemID) []RegionSpec {
+		return []RegionSpec{{ID: regionA, Registers: []types.RegisterID{regX}, Perm: OpenPermission([]types.ProcID{1})}}
+	}
+	p := NewPool(3, layout, Options{})
+	if got := p.LiveRegions(); got != 3 {
+		t.Fatalf("pool LiveRegions() = %d, want 3", got)
+	}
+	// Region release is host-side bookkeeping: a crashed memory (unresponsive
+	// to RDMA ops) still truncates, so GC keeps bounding memory under faults.
+	p.CrashQuorumSafe(1)
+	if released := p.ReleaseRegion(regionA); released != 3 {
+		t.Fatalf("pool ReleaseRegion released %d, want 3", released)
+	}
+	if got := p.LiveRegions(); got != 0 {
+		t.Fatalf("pool LiveRegions() = %d after release, want 0", got)
+	}
+	if released := p.ReleaseRegion(regionA); released != 0 {
+		t.Fatalf("second pool ReleaseRegion released %d, want 0", released)
+	}
+}

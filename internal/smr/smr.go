@@ -1,6 +1,7 @@
-// Package smr builds a replicated state-machine log on top of the single-shot
+// Package smr builds a replicated state machine on top of the single-shot
 // agreement protocols: one long-lived cluster serves an unbounded sequence of
-// consensus instances (slots), one decided batch of commands per slot.
+// consensus instances (slots), one decided batch of commands per slot, and a
+// pluggable StateMachine consumes the decided log.
 //
 // The paper's protocols decide a single value per deployment; serving real
 // traffic needs a log of decisions. A Log owns one core.Cluster and
@@ -14,6 +15,16 @@
 // amortizes over batch size while each command still gets its own log index.
 // Batches preserve arrival order, which gives per-client FIFO: a client that
 // submits its commands in order observes them committed in order.
+//
+// The application side is the classic RSM contract (StateMachine): Propose
+// replicates a command and returns the machine's response for it, Read serves
+// linearizable queries via a read-index barrier (a no-op slot commit), and
+// StaleRead serves local, possibly-stale queries from a replica's learner
+// view. Every SnapshotInterval applied entries the committer snapshots the
+// machine and truncates the decided prefix — releasing the per-slot memory
+// regions — so live memory is bounded by the machine's state plus one
+// interval, not by log length; a replica that missed truncated slots is
+// restored from the snapshot instead of replaying them.
 package smr
 
 import (
@@ -37,6 +48,22 @@ type Options struct {
 	// Cluster describes the long-lived cluster (topology, failure bounds,
 	// timing).
 	Cluster core.Options
+	// NewSM builds the group's state machines: one authoritative machine
+	// applied by the committer (it produces Propose responses and the
+	// snapshots behind slot GC) plus one learner view per replica (behind
+	// StaleRead). Nil means a no-op machine: the Log is then a plain
+	// replicated log of opaque commands.
+	NewSM func() StateMachine
+	// SnapshotInterval is the number of applied entries — or decided slots,
+	// whichever threshold is crossed first, so that no-op read-barrier slots
+	// are collected too — between committer snapshots. Each snapshot
+	// truncates the decided slot prefix and releases its per-slot memory
+	// regions, bounding live memory independent of log length. Zero means
+	// 1024 when NewSM is set, and disabled when it is not:
+	// a plain log's entries ARE its state, and a no-op machine's snapshot
+	// could never bring them back. Negative disables snapshots and
+	// truncation explicitly.
+	SnapshotInterval int
 	// MaxBatch bounds how many queued commands are agreed as one slot value.
 	// Zero means 64.
 	MaxBatch int
@@ -49,13 +76,24 @@ type Options struct {
 	ReplicaCatchUp time.Duration
 	// OnCommit, if set, is called once per committed entry in index order
 	// from the committer goroutine. Callbacks must be fast; they serialize
-	// the log.
+	// the log. State machines should be plugged in via NewSM; OnCommit is an
+	// observability hook, not the application path.
 	OnCommit func(Entry)
 }
 
 func (o *Options) applyDefaults() {
 	if o.Protocol == "" {
 		o.Protocol = core.ProtocolProtectedMemoryPaxos
+	}
+	if o.SnapshotInterval == 0 {
+		if o.NewSM != nil {
+			o.SnapshotInterval = 1024
+		} else {
+			o.SnapshotInterval = -1
+		}
+	}
+	if o.NewSM == nil {
+		o.NewSM = func() StateMachine { return nopSM{} }
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
@@ -82,7 +120,9 @@ type Entry struct {
 
 // wireBatch is the value agreed on per slot: an ordered batch of commands
 // tagged with their submitting log's identity, so a proposer can tell whether
-// the decided batch is its own.
+// the decided batch is its own. A batch with zero commands is a no-op slot,
+// committed by Read/ReadFrom as the read-index barrier when no writes are
+// queued alongside.
 //
 // With today's single committer per group the decided batch is always the
 // proposed one; the origin/ID plumbing is the safety net for the multi-
@@ -115,34 +155,67 @@ func decodeBatch(raw types.Value) (wireBatch, error) {
 	return b, nil
 }
 
-// queued is one command waiting for a slot.
+// queued is one command — or one read barrier — waiting for a slot.
 type queued struct {
-	id   uint64
-	cmd  []byte
-	done chan applyResult
+	id      uint64
+	cmd     []byte
+	barrier bool
+	query   []byte       // barrier only: query served at the read index
+	replica types.ProcID // barrier only: NoProcess = authoritative machine
+	done    chan proposeResult
 }
 
-type applyResult struct {
+type proposeResult struct {
 	index uint64
+	resp  []byte
 	err   error
 }
 
-// Log is a sharded-log group: one long-lived cluster plus the committer that
-// multiplexes slots over it. All methods are safe for concurrent use.
+// replicaView is the learner-side state of one replica: the slot values its
+// learner saw plus its own StateMachine instance, applied in slot order.
+type replicaView struct {
+	sm        StateMachine
+	learned   map[uint64]types.Value // decided value per slot (retained window)
+	nextSlot  uint64                 // next slot to apply to sm
+	nextIndex uint64                 // log index of the next command to apply
+	restores  int                    // times restored from a snapshot instead of replay
+}
+
+// snapState is the latest committer snapshot; the truncated prefix's only
+// surviving representation.
+type snapState struct {
+	data      []byte
+	lastIndex uint64 // log index of the last entry the snapshot covers
+	lastSlot  uint64 // last slot folded into the snapshot
+}
+
+// Log is a replicated state-machine group: one long-lived cluster plus the
+// committer that multiplexes slots over it and applies decided entries to the
+// group's StateMachine. All methods are safe for concurrent use.
 type Log struct {
 	opts    Options
 	cluster *core.Cluster
 	origin  uint64
 
-	mu       sync.Mutex
-	pending  []queued
-	nextID   uint64
-	entries  []Entry
-	slots    []types.Value                           // decided value per slot, in slot order
-	replicas map[types.ProcID]map[uint64]types.Value // slot values learned per replica
-	lagging  map[types.ProcID]bool                   // replicas that missed a catch-up window
-	closed   bool
-	failure  error // set when the committer halts on an ambiguous slot
+	mu           sync.Mutex
+	sm           StateMachine // authoritative machine, committer-applied
+	pending      []queued
+	nextID       uint64
+	entries      []Entry       // committed entries since the last truncation
+	firstIndex   uint64        // index of entries[0]
+	slots        []types.Value // decided value per retained slot, in slot order
+	firstSlot    uint64        // slot of slots[0]
+	sinceSnap    int           // entries applied since the last snapshot
+	sinceSlots   int           // slots decided since the last truncation
+	snapFailures int           // failed Snapshot() attempts
+	snapErr      error         // last Snapshot() failure; nil once one succeeds
+	snap         *snapState
+	snapCount    int
+	replicas     map[types.ProcID]*replicaView
+	lagging      map[types.ProcID]bool // replicas that missed a catch-up window
+	closed       bool
+	failure      error      // set when the committer halts on an ambiguous slot
+	applied      *sync.Cond // on mu: broadcast when a view advances, or on close/halt
 
 	notify chan struct{}
 	cancel context.CancelFunc
@@ -163,7 +236,8 @@ func nextOrigin() uint64 {
 	return originCounter.n
 }
 
-// NewLog builds the long-lived cluster and starts the committer.
+// NewLog builds the long-lived cluster, instantiates the state machines and
+// starts the committer.
 func NewLog(opts Options) (*Log, error) {
 	opts.applyDefaults()
 	// The log drives only per-slot instances; skip the cluster's single-shot
@@ -175,7 +249,7 @@ func NewLog(opts Options) (*Log, error) {
 		return nil, fmt.Errorf("smr log: %w", err)
 	}
 	// Fail fast if the protocol cannot multiplex slots: build and discard a
-	// probe instance rather than failing on the first Apply.
+	// probe instance rather than failing on the first Propose.
 	probe, err := cluster.NewInstance(0)
 	if err != nil {
 		cluster.Close()
@@ -188,13 +262,15 @@ func NewLog(opts Options) (*Log, error) {
 		opts:     opts,
 		cluster:  cluster,
 		origin:   nextOrigin(),
-		replicas: make(map[types.ProcID]map[uint64]types.Value, len(cluster.Procs)),
+		sm:       opts.NewSM(),
+		replicas: make(map[types.ProcID]*replicaView, len(cluster.Procs)),
 		lagging:  make(map[types.ProcID]bool),
 		notify:   make(chan struct{}, 1),
 		cancel:   cancel,
 	}
+	l.applied = sync.NewCond(&l.mu)
 	for _, p := range cluster.Procs {
-		l.replicas[p] = make(map[uint64]types.Value)
+		l.replicas[p] = &replicaView{sm: opts.NewSM(), learned: make(map[uint64]types.Value)}
 	}
 	l.wg.Add(1)
 	go l.commitLoop(ctx)
@@ -205,8 +281,8 @@ func NewLog(opts Options) (*Log, error) {
 // tests and experiments).
 func (l *Log) Cluster() *core.Cluster { return l.cluster }
 
-// Close stops the committer and the cluster. Pending commands fail with an
-// error.
+// Close stops the committer and the cluster. Pending commands and reads fail
+// with ErrClosed. Close is idempotent: second and later calls are no-ops.
 func (l *Log) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -216,34 +292,33 @@ func (l *Log) Close() {
 	l.closed = true
 	pending := l.pending
 	l.pending = nil
+	l.applied.Broadcast() // release ReadFrom waiters into the ErrClosed path
 	l.mu.Unlock()
 
 	l.cancel()
 	l.wg.Wait()
 	for _, q := range pending {
-		q.done <- applyResult{err: fmt.Errorf("smr log: closed before command committed")}
+		q.done <- proposeResult{err: fmt.Errorf("%w before command committed", ErrClosed)}
 	}
 	l.cluster.Close()
 }
 
-// Apply submits one command and blocks until it is committed, returning its
-// log index. Commands submitted by one goroutine in sequence are committed in
-// that sequence (per-client FIFO). If ctx expires first, Apply returns the
-// context error, but the command may still commit later (it cannot be
-// withdrawn once proposed).
-func (l *Log) Apply(ctx context.Context, cmd []byte) (uint64, error) {
+// enqueue appends one command or barrier to the pending queue and wakes the
+// committer, after the lifecycle checks every submission path shares.
+func (l *Log) enqueue(q queued) (queued, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return 0, fmt.Errorf("smr log: closed")
+		return queued{}, ErrClosed
 	}
 	if l.failure != nil {
-		err := l.failure
+		cause := l.failure
 		l.mu.Unlock()
-		return 0, fmt.Errorf("smr log halted: %w", err)
+		return queued{}, fmt.Errorf("%w: %w", ErrHalted, cause)
 	}
 	l.nextID++
-	q := queued{id: l.nextID, cmd: append([]byte(nil), cmd...), done: make(chan applyResult, 1)}
+	q.id = l.nextID
+	q.done = make(chan proposeResult, 1)
 	l.pending = append(l.pending, q)
 	l.mu.Unlock()
 
@@ -251,72 +326,270 @@ func (l *Log) Apply(ctx context.Context, cmd []byte) (uint64, error) {
 	case l.notify <- struct{}{}:
 	default:
 	}
+	return q, nil
+}
 
+// Propose submits one command, blocks until it is committed and applied to
+// the group's state machine, and returns its log index plus the machine's
+// response. Commands submitted by one goroutine in sequence are committed in
+// that sequence (per-client FIFO). A non-nil error with a valid index is an
+// application-level rejection by StateMachine.Apply: the entry is committed
+// (every replica applies and rejects it identically) but the machine refused
+// it. If ctx expires first, Propose returns the context error, but the
+// command may still commit later (it cannot be withdrawn once proposed).
+//
+// After Close, Propose returns ErrClosed; on a halted group it returns
+// ErrHalted wrapping the halt's cause.
+func (l *Log) Propose(ctx context.Context, cmd []byte) (uint64, []byte, error) {
+	q, err := l.enqueue(queued{cmd: append([]byte(nil), cmd...)})
+	if err != nil {
+		return 0, nil, fmt.Errorf("smr propose: %w", err)
+	}
 	select {
 	case res := <-q.done:
-		return res.index, res.err
+		return res.index, res.resp, res.err
 	case <-ctx.Done():
-		return 0, fmt.Errorf("smr apply: %w", ctx.Err())
+		return 0, nil, fmt.Errorf("smr propose: %w", ctx.Err())
 	}
 }
 
-// Len returns the number of committed commands.
+// Read serves a linearizable query against the group's state machine. It
+// establishes a read index by committing through the group's slot sequence —
+// the query rides the next batch's slot, or a dedicated no-op slot when no
+// writes are queued — and answers from the authoritative machine at that
+// point, so a Read that starts after any Propose returned is guaranteed to
+// observe that command. The query is served via the machine's Querier
+// implementation; machines without one get ErrNotQueryable.
+func (l *Log) Read(ctx context.Context, query []byte) ([]byte, error) {
+	q, err := l.enqueue(queued{barrier: true, query: append([]byte(nil), query...), replica: types.NoProcess})
+	if err != nil {
+		return nil, fmt.Errorf("smr read: %w", err)
+	}
+	select {
+	case res := <-q.done:
+		if res.err != nil {
+			return nil, fmt.Errorf("smr read: %w", res.err)
+		}
+		return res.resp, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("smr read: %w", ctx.Err())
+	}
+}
+
+// ReadFrom serves a linearizable query from replica p's learner view: it
+// establishes the read index exactly like Read, then waits until p's view has
+// applied through that index before querying p's machine. The answer is as
+// current as Read's even though a follower serves it; on a lagging replica
+// the wait lasts until the replica catches up (via a snapshot restore) or ctx
+// expires.
+func (l *Log) ReadFrom(ctx context.Context, p types.ProcID, query []byte) ([]byte, error) {
+	l.mu.Lock()
+	_, ok := l.replicas[p]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("smr read: unknown replica %s", p)
+	}
+	q, err := l.enqueue(queued{barrier: true, replica: p})
+	if err != nil {
+		return nil, fmt.Errorf("smr read: %w", err)
+	}
+	var readIndex uint64
+	select {
+	case res := <-q.done:
+		if res.err != nil {
+			return nil, fmt.Errorf("smr read: %w", res.err)
+		}
+		readIndex = res.index
+	case <-ctx.Done():
+		return nil, fmt.Errorf("smr read: %w", ctx.Err())
+	}
+	// Wait for p's view to apply through the read index. The cond is
+	// broadcast whenever any view advances (and on close/halt); the AfterFunc
+	// wakes waiters on ctx expiry — it takes the mutex first, so a waiter is
+	// either already in Wait or will re-check ctx before entering it.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		l.applied.Broadcast()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		view := l.replicas[p]
+		if view.nextIndex >= readIndex {
+			resp, err := querySM(view.sm, query)
+			if err != nil {
+				return nil, fmt.Errorf("smr read: %w", err)
+			}
+			return resp, nil
+		}
+		if l.closed {
+			return nil, fmt.Errorf("smr read: %w", ErrClosed)
+		}
+		if l.failure != nil {
+			return nil, fmt.Errorf("smr read: %w: %w", ErrHalted, l.failure)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("smr read: replica %s behind read index %d: %w", p, readIndex, err)
+		}
+		l.applied.Wait()
+	}
+}
+
+// StaleRead serves a query from replica p's learner view without any
+// linearization barrier: local, immediate, and possibly stale (a lagging
+// replica answers from whatever prefix it has applied). It remains available
+// on a halted group — local state needs no consensus — but not after Close.
+func (l *Log) StaleRead(p types.ProcID, query []byte) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("smr stale read: %w", ErrClosed)
+	}
+	view, ok := l.replicas[p]
+	if !ok {
+		return nil, fmt.Errorf("smr stale read: unknown replica %s", p)
+	}
+	resp, err := querySM(view.sm, query)
+	if err != nil {
+		return nil, fmt.Errorf("smr stale read: %w", err)
+	}
+	return resp, nil
+}
+
+// Len returns the total number of committed commands, including those folded
+// into snapshots.
 func (l *Log) Len() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.entries))
+	return l.firstIndex + uint64(len(l.entries))
 }
 
-// Get returns the committed entry at index i.
+// FirstIndex returns the index of the oldest retained entry; entries below it
+// have been truncated into the latest snapshot.
+func (l *Log) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstIndex
+}
+
+// Get returns the committed entry at index i. It reports false both for
+// indexes not committed yet and for indexes already truncated into a snapshot
+// (compare with FirstIndex to tell the cases apart).
 func (l *Log) Get(i uint64) (Entry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if i >= uint64(len(l.entries)) {
+	if i < l.firstIndex || i >= l.firstIndex+uint64(len(l.entries)) {
 		return Entry{}, false
 	}
-	return cloneEntry(l.entries[i]), true
+	return cloneEntry(l.entries[i-l.firstIndex]), true
 }
 
-// Entries returns a copy of the committed suffix starting at index from —
-// the catch-up read used by learners that fell behind.
+// Entries returns a copy of the retained committed suffix starting at index
+// from — the catch-up read used by learners that fell behind. It returns nil
+// when from lies below FirstIndex: the prefix has been truncated, and
+// silently serving a later suffix would hand the learner a gap. Such a
+// learner must first restore from Snapshot and resume at lastIndex+1.
 func (l *Log) Entries(from uint64) []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if from >= uint64(len(l.entries)) {
+	if from < l.firstIndex {
 		return nil
 	}
-	out := make([]Entry, 0, uint64(len(l.entries))-from)
-	for _, e := range l.entries[from:] {
+	if from >= l.firstIndex+uint64(len(l.entries)) {
+		return nil
+	}
+	out := make([]Entry, 0, l.firstIndex+uint64(len(l.entries))-from)
+	for _, e := range l.entries[from-l.firstIndex:] {
 		out = append(out, cloneEntry(e))
 	}
 	return out
+}
+
+// Snapshot returns the latest committer snapshot and the log index of the
+// last entry it covers, or ok=false if none has been taken yet. Together with
+// Entries(lastIndex+1) it is the catch-up path for replicas that fell behind
+// a truncated prefix.
+func (l *Log) Snapshot() (data []byte, lastIndex uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap == nil {
+		return nil, 0, false
+	}
+	return append([]byte(nil), l.snap.data...), l.snap.lastIndex, true
+}
+
+// Snapshots returns how many snapshots the committer has taken.
+func (l *Log) Snapshots() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapCount
+}
+
+// SnapshotFailures reports how many Snapshot() attempts the committer had to
+// abandon and the most recent failure (nil after a subsequent success). While
+// failures persist the log stays intact — and keeps growing: truncation
+// cannot run without a snapshot, so a persistent failure deserves attention.
+func (l *Log) SnapshotFailures() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapFailures, l.snapErr
+}
+
+// Restores returns how many times replica p's view was restored from a
+// snapshot (because the slots it missed had been truncated) instead of
+// replaying the log.
+func (l *Log) Restores(p types.ProcID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	view, ok := l.replicas[p]
+	if !ok {
+		return 0
+	}
+	return view.restores
+}
+
+// ReplicaApplied returns the next log index replica p's view will apply —
+// i.e. p has applied entries [0, n).
+func (l *Log) ReplicaApplied(p types.ProcID) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	view, ok := l.replicas[p]
+	if !ok {
+		return 0, false
+	}
+	return view.nextIndex, true
 }
 
 func cloneEntry(e Entry) Entry {
 	return Entry{Index: e.Index, Slot: e.Slot, Cmd: append([]byte(nil), e.Cmd...)}
 }
 
-// Slots returns the number of decided slots.
+// Slots returns the number of decided slots, including truncated ones.
 func (l *Log) Slots() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.slots))
+	return l.firstSlot + uint64(len(l.slots))
 }
 
-// ReplicaLog returns the command sequence process p has learned, by decoding
-// the slot values recorded at p in slot order. The boolean reports whether
-// p's view is gap-free through every decided slot; a lagging replica (one
-// that missed a decide broadcast within the catch-up bound) yields false.
+// ReplicaLog returns the command sequence process p has learned over the
+// retained slot window (since the last truncation), by decoding the slot
+// values recorded at p in slot order. The boolean reports whether p's view is
+// gap-free through every retained decided slot; a lagging replica (one that
+// missed a decide broadcast within the catch-up bound) yields false until a
+// snapshot restore resets its window.
 func (l *Log) ReplicaLog(p types.ProcID) ([][]byte, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	learned, ok := l.replicas[p]
+	view, ok := l.replicas[p]
 	if !ok {
 		return nil, false
 	}
 	var out [][]byte
-	for slot := uint64(0); slot < uint64(len(l.slots)); slot++ {
-		raw, ok := learned[slot]
+	last := l.firstSlot + uint64(len(l.slots))
+	for slot := l.firstSlot; slot < last; slot++ {
+		raw, ok := view.learned[slot]
 		if !ok {
 			return out, false
 		}
@@ -347,43 +620,66 @@ func (l *Log) commitLoop(ctx context.Context) {
 			}
 		}
 		if err := l.commitBatch(ctx, batch); err != nil {
-			// The failed slot's outcome is ambiguous: the batch's value may
-			// already be durable in the slot's region (a phase-2 write can
-			// reach a quorum before the timeout fires), in which case a
-			// retry at the same slot would re-decide the old batch under a
-			// new batch's name. The log can neither retry the slot with a
-			// different batch nor skip it without risking a gap, so the
-			// group halts; recovery (re-reading the slot to learn its fate)
-			// is a ROADMAP follow-up.
-			for _, q := range batch {
-				q.done <- applyResult{err: err}
+			// A batch abandoned because Close cancelled the committer is a
+			// clean shutdown, not a group failure: its waiters get ErrClosed,
+			// per Close's contract. Any other failure leaves the slot's
+			// outcome ambiguous: the batch's value may already be durable in
+			// the slot's region (a phase-2 write can reach a quorum before
+			// the timeout fires), in which case a retry at the same slot
+			// would re-decide the old batch under a new batch's name. The
+			// log can neither retry the slot with a different batch nor skip
+			// it without risking a gap, so the group halts; recovery
+			// (re-reading the slot to learn its fate) is a ROADMAP follow-up.
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			wrapped := fmt.Errorf("%w before command committed", ErrClosed)
+			if !closed {
+				wrapped = fmt.Errorf("%w: %w", ErrHalted, err)
 			}
-			l.fail(err)
+			for _, q := range batch {
+				q.done <- proposeResult{err: wrapped}
+			}
+			if !closed {
+				l.fail(err)
+			}
 			return
 		}
 	}
 }
 
-// takeBatch removes up to MaxBatch commands from the queue.
+// takeBatch removes up to MaxBatch commands from the queue, along with every
+// read barrier queued among or immediately after them. Barriers contribute
+// nothing to the slot value, so they do not count against MaxBatch — a burst
+// of Reads must not shrink or displace a write batch. Riding the same slot is
+// also the cheapest correct place for them: the read index then covers the
+// batch's own writes too, which only makes the reads fresher.
 func (l *Log) takeBatch() []queued {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.pending) == 0 {
 		return nil
 	}
-	n := len(l.pending)
-	if n > l.opts.MaxBatch {
-		n = l.opts.MaxBatch
+	n, cmds := 0, 0
+	for n < len(l.pending) {
+		if !l.pending[n].barrier {
+			if cmds == l.opts.MaxBatch {
+				break
+			}
+			cmds++
+		}
+		n++
 	}
 	batch := l.pending[:n:n]
 	l.pending = append([]queued(nil), l.pending[n:]...)
 	return batch
 }
 
-// fail permanently halts the log: the cause is recorded (subsequent Apply
-// calls error immediately) and every queued command is told. Setting failure
-// and draining the queue happen in one critical section, so an Apply either
-// enqueues before the drain (and is drained) or observes the failure.
+// fail permanently halts the log: the cause is recorded (subsequent Propose
+// and Read calls return ErrHalted immediately) and every queued command is
+// told. Setting failure and draining the queue happen in one critical
+// section, so a submission either enqueues before the drain (and is drained)
+// or observes the failure.
 func (l *Log) fail(cause error) {
 	l.mu.Lock()
 	if l.failure == nil {
@@ -392,25 +688,37 @@ func (l *Log) fail(cause error) {
 	pending := l.pending
 	l.pending = nil
 	closed := l.closed
+	l.applied.Broadcast() // release ReadFrom waiters into the ErrHalted path
 	l.mu.Unlock()
 	if closed {
 		return // Close already owns the pending queue
 	}
 	for _, q := range pending {
-		q.done <- applyResult{err: fmt.Errorf("smr log halted: %w", cause)}
+		q.done <- proposeResult{err: fmt.Errorf("%w: %w", ErrHalted, cause)}
 	}
 }
 
-// commitBatch agrees on the batch in the next slot. If a competing proposer's
+// commitBatch agrees on the batch's commands in the next slot and resolves
+// its read barriers once a slot of ours commits. If a competing proposer's
 // batch wins the slot instead, the foreign batch is committed at this slot
-// and ours is retried at the next one, preserving its internal order.
+// and ours is retried at the next one, preserving its internal order (the
+// barriers, too, wait for our own slot: only then is the read index known to
+// cover every command decided before it).
 func (l *Log) commitBatch(ctx context.Context, batch []queued) error {
+	var cmds, barriers []queued
+	for _, q := range batch {
+		if q.barrier {
+			barriers = append(barriers, q)
+		} else {
+			cmds = append(cmds, q)
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("smr commit: %w", err)
 		}
-		proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(batch)), Cmds: make([][]byte, 0, len(batch))}
-		for _, q := range batch {
+		proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(cmds)), Cmds: make([][]byte, 0, len(cmds))}
+		for _, q := range cmds {
 			proposal.IDs = append(proposal.IDs, q.id)
 			proposal.Cmds = append(proposal.Cmds, q.cmd)
 		}
@@ -420,21 +728,49 @@ func (l *Log) commitBatch(ctx context.Context, batch []queued) error {
 		}
 
 		l.mu.Lock()
-		slot := uint64(len(l.slots))
+		slot := l.firstSlot + uint64(len(l.slots))
 		l.mu.Unlock()
 
 		decided, err := l.runSlot(ctx, slot, blob)
 		if err != nil {
 			return err
 		}
-		won, err := l.recordSlot(slot, decided, batch)
+		won, err := l.recordSlot(slot, decided, cmds)
 		if err != nil {
 			return err
 		}
+		l.maybeSnapshot()
 		if won {
+			l.resolveBarriers(barriers)
 			return nil
 		}
 		// A foreign batch occupied the slot; retry ours at the next slot.
+	}
+}
+
+// resolveBarriers answers the batch's read barriers at the just-established
+// read index: every command committed before the barrier was enqueued has
+// been applied to the authoritative machine by now.
+func (l *Log) resolveBarriers(barriers []queued) {
+	if len(barriers) == 0 {
+		return
+	}
+	l.mu.Lock()
+	readIndex := l.firstIndex + uint64(len(l.entries))
+	results := make([]proposeResult, len(barriers))
+	for i, q := range barriers {
+		if q.replica == types.NoProcess {
+			resp, err := querySM(l.sm, q.query)
+			results[i] = proposeResult{index: readIndex, resp: resp, err: err}
+		} else {
+			// Replica-served read: hand back only the read index; ReadFrom
+			// waits for the replica's view to reach it before querying.
+			results[i] = proposeResult{index: readIndex}
+		}
+	}
+	l.mu.Unlock()
+	for i, q := range barriers {
+		q.done <- results[i]
 	}
 }
 
@@ -465,7 +801,7 @@ func (l *Log) runSlot(ctx context.Context, slot uint64, blob types.Value) (types
 	// single crashed replica — the very fault the protocols tolerate —
 	// would cost the full catch-up timeout on EVERY subsequent slot.
 	// Lagging replicas show the gap in ReplicaLog and catch up off the hot
-	// path via Entries().
+	// path — from the next snapshot once their missed slots are truncated.
 	catchUp, cancelCatchUp := context.WithTimeout(ctx, l.opts.ReplicaCatchUp)
 	defer cancelCatchUp()
 	var wg sync.WaitGroup
@@ -500,16 +836,39 @@ func (l *Log) markLagging(p types.ProcID) {
 	l.lagging[p] = true
 }
 
+// recordReplica stores the slot value replica p learned and advances p's
+// state machine through every consecutively-learned slot.
 func (l *Log) recordReplica(p types.ProcID, slot uint64, v types.Value) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.replicas[p][slot] = v.Clone()
+	view := l.replicas[p]
+	view.learned[slot] = v.Clone()
+	for {
+		raw, ok := view.learned[view.nextSlot]
+		if !ok {
+			return
+		}
+		b, err := decodeBatch(raw)
+		if err != nil {
+			return // a decided value must decode; leave the view stuck rather than skip
+		}
+		for _, cmd := range b.Cmds {
+			e := Entry{Index: view.nextIndex, Slot: view.nextSlot, Cmd: append([]byte(nil), cmd...)}
+			// Application-level rejections are deterministic: every view
+			// rejects the same entries the authoritative machine rejected.
+			view.sm.Apply(e)
+			view.nextIndex++
+		}
+		view.nextSlot++
+		l.applied.Broadcast() // wake ReadFrom waiters on this view
+	}
 }
 
-// recordSlot appends the decided batch to the committed log and resolves the
-// waiters whose commands it contains. It reports whether the proposed batch
-// won the slot.
-func (l *Log) recordSlot(slot uint64, decided types.Value, batch []queued) (bool, error) {
+// recordSlot appends the decided batch to the committed log, applies it to
+// the authoritative state machine, takes a snapshot if the interval is due,
+// and resolves the waiters whose commands it contains. It reports whether the
+// proposed batch won the slot.
+func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued) (bool, error) {
 	b, err := decodeBatch(decided)
 	if err != nil {
 		return false, fmt.Errorf("smr slot %d: %w", slot, err)
@@ -517,11 +876,16 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, batch []queued) (bool
 
 	l.mu.Lock()
 	l.slots = append(l.slots, decided.Clone())
+	l.sinceSlots++
 	committed := make([]Entry, 0, len(b.Cmds))
+	results := make([]proposeResult, 0, len(b.Cmds))
 	for _, cmd := range b.Cmds {
-		e := Entry{Index: uint64(len(l.entries)), Slot: slot, Cmd: append([]byte(nil), cmd...)}
+		e := Entry{Index: l.firstIndex + uint64(len(l.entries)), Slot: slot, Cmd: append([]byte(nil), cmd...)}
 		l.entries = append(l.entries, e)
 		committed = append(committed, e)
+		resp, applyErr := l.sm.Apply(cloneEntry(e))
+		l.sinceSnap++
+		results = append(results, proposeResult{index: e.Index, resp: resp, err: applyErr})
 	}
 	onCommit := l.opts.OnCommit
 	l.mu.Unlock()
@@ -534,26 +898,160 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, batch []queued) (bool
 
 	won := b.Origin == l.origin
 	if won {
-		ids := make(map[uint64]uint64, len(b.IDs)) // command id -> entry index
+		byID := make(map[uint64]int, len(b.IDs)) // command id -> results offset
 		for i, id := range b.IDs {
-			ids[id] = committed[i].Index
+			byID[id] = i
 		}
 		// Validate the whole batch before resolving any waiter: each done
 		// channel holds exactly one result, so a mid-loop error after some
 		// sends would leave commitLoop's error path double-sending into
 		// full buffers (a committer deadlock). Either every command
 		// resolves here or none does and the error path owns them all.
-		results := make([]applyResult, len(batch))
-		for i, q := range batch {
-			index, ok := ids[q.id]
+		resolved := make([]proposeResult, len(cmds))
+		for i, q := range cmds {
+			ri, ok := byID[q.id]
 			if !ok {
 				return false, fmt.Errorf("smr slot %d: own batch decided without command %d", slot, q.id)
 			}
-			results[i] = applyResult{index: index}
+			resolved[i] = results[ri]
 		}
-		for i, q := range batch {
-			q.done <- results[i]
+		for i, q := range cmds {
+			q.done <- resolved[i]
 		}
 	}
 	return won, nil
+}
+
+// maybeSnapshot runs the committer's snapshot-and-truncate step once
+// SnapshotInterval entries have been applied since the last one: serialize
+// the authoritative machine, truncate the decided prefix, release every
+// truncated slot's memory regions, and restore any replica view that had
+// fallen behind the truncation point from the snapshot (it can never replay
+// the released slots). A restored replica is also cleared from the lagging
+// set: it is current again as of the snapshot, so the committer resumes
+// waiting for its learner — a replica that is genuinely dead simply re-lags
+// after one catch-up window, costing at most one window per interval.
+//
+// Called only from the committer. The O(state) work — serializing the
+// authoritative machine, deserializing replacement machines for lagging
+// views, releasing the dead slots' regions — all runs OUTSIDE l.mu, so reads
+// and submissions proceed during it; the lock covers only the truncation
+// bookkeeping and the pointer swaps that install restored views. That is
+// safe because the committer is the sole writer of the authoritative machine
+// and of view progress outside runSlot (whose learner goroutines have
+// finished before recordSlot runs), and released regions are never read
+// again once truncation is decided.
+func (l *Log) maybeSnapshot() {
+	l.mu.Lock()
+	interval := l.opts.SnapshotInterval
+	// Slots count toward the interval too: a read-heavy group commits no-op
+	// barrier slots that apply nothing, and without this trigger their
+	// regions and recorded values would accumulate forever.
+	due := interval >= 0 && (l.sinceSnap >= interval || l.sinceSlots >= interval) && len(l.slots) > 0
+	if due && len(l.entries) == 0 {
+		// Every retained slot is a no-op: no state changed, so this is pure
+		// bookkeeping truncation — no snapshot, no restores. Only views
+		// inside this all-no-op window may fast-forward over it; a view
+		// still behind an EARLIER truncation (a failed Restore left it
+		// there) misses real commands and must keep waiting for a snapshot.
+		windowStart := l.firstSlot
+		releaseFrom, lastSlot := l.truncateLocked()
+		for p, view := range l.replicas {
+			if view.nextSlot >= windowStart && view.nextSlot < l.firstSlot {
+				view.nextSlot = l.firstSlot
+				delete(l.lagging, p)
+				l.applied.Broadcast()
+			}
+		}
+		l.mu.Unlock()
+		l.releaseSlots(releaseFrom, lastSlot)
+		return
+	}
+	l.mu.Unlock()
+	if !due {
+		return
+	}
+	data, err := l.sm.Snapshot()
+	if err != nil {
+		// Keep the log intact, surface the failure, and reset the counters
+		// so the retry costs one O(state) attempt per interval, not one per
+		// slot on the hot committer path.
+		l.mu.Lock()
+		l.snapFailures++
+		l.snapErr = err
+		l.sinceSnap = 0
+		l.sinceSlots = 0
+		l.mu.Unlock()
+		return
+	}
+
+	// Truncation bookkeeping: slice/map surgery only.
+	l.mu.Lock()
+	lastIndex := l.firstIndex + uint64(len(l.entries)) - 1
+	releaseFrom, lastSlot := l.truncateLocked()
+	l.snap = &snapState{data: data, lastIndex: lastIndex, lastSlot: lastSlot}
+	l.snapCount++
+	l.snapErr = nil
+	var behind []types.ProcID
+	for p, view := range l.replicas {
+		if view.nextSlot < l.firstSlot {
+			behind = append(behind, p)
+		}
+	}
+	l.mu.Unlock()
+
+	l.releaseSlots(releaseFrom, lastSlot)
+
+	// Lagging views: build a restored machine off-lock, install it with a
+	// pointer swap. StaleRead keeps serving the old (stale) machine until
+	// the swap, which is exactly its contract.
+	for _, p := range behind {
+		fresh := l.opts.NewSM()
+		if err := fresh.Restore(data, lastIndex); err != nil {
+			continue // the view stays behind; the next snapshot retries
+		}
+		l.mu.Lock()
+		view := l.replicas[p]
+		view.sm = fresh
+		view.nextSlot = l.firstSlot
+		view.nextIndex = l.firstIndex
+		view.restores++
+		delete(l.lagging, p)
+		l.applied.Broadcast() // a restore can satisfy ReadFrom waiters too
+		l.mu.Unlock()
+	}
+}
+
+// truncateLocked drops the retained log prefix — entries, slot values, the
+// interval counters and every view's learned values for the dropped slots —
+// and returns the released slot range for the caller to free off-lock via
+// releaseSlots. View progress (nextSlot/nextIndex/machines) is NOT touched:
+// each truncation path decides for itself how a behind view catches up.
+// Callers must hold l.mu.
+func (l *Log) truncateLocked() (releaseFrom, lastSlot uint64) {
+	releaseFrom = l.firstSlot
+	lastSlot = l.firstSlot + uint64(len(l.slots)) - 1
+	l.sinceSnap = 0
+	l.sinceSlots = 0
+	l.firstIndex += uint64(len(l.entries))
+	l.entries = nil
+	l.firstSlot = lastSlot + 1
+	l.slots = nil
+	for _, view := range l.replicas {
+		for slot := range view.learned {
+			if slot < l.firstSlot {
+				delete(view.learned, slot)
+			}
+		}
+	}
+	return releaseFrom, lastSlot
+}
+
+// releaseSlots frees the truncated slots' memory regions. It runs without
+// l.mu: truncation is already decided, the regions are never read again, and
+// memsim has its own locking.
+func (l *Log) releaseSlots(from, through uint64) {
+	for slot := from; slot <= through; slot++ {
+		l.cluster.ReleaseInstance(slot)
+	}
 }

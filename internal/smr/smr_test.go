@@ -3,6 +3,7 @@ package smr
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -30,21 +31,21 @@ func newTestLog(t *testing.T, opts Options) *Log {
 	return l
 }
 
-// TestApplySequential commits a handful of commands one by one and checks the
-// committed prefix.
-func TestApplySequential(t *testing.T) {
+// TestProposeSequential commits a handful of commands one by one and checks
+// the committed prefix.
+func TestProposeSequential(t *testing.T) {
 	l := newTestLog(t, testOptions(core.ProtocolProtectedMemoryPaxos))
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
 	for i := 0; i < 10; i++ {
 		cmd := []byte(fmt.Sprintf("cmd-%d", i))
-		index, err := l.Apply(ctx, cmd)
+		index, _, err := l.Propose(ctx, cmd)
 		if err != nil {
-			t.Fatalf("Apply(%d): %v", i, err)
+			t.Fatalf("Propose(%d): %v", i, err)
 		}
 		if index != uint64(i) {
-			t.Fatalf("Apply(%d): index = %d, want %d", i, index, i)
+			t.Fatalf("Propose(%d): index = %d, want %d", i, index, i)
 		}
 	}
 	if got := l.Len(); got != 10 {
@@ -61,11 +62,11 @@ func TestApplySequential(t *testing.T) {
 	}
 }
 
-// TestConcurrentApplyReplicasAgree drives concurrent Apply calls from many
+// TestConcurrentProposeReplicasAgree drives concurrent Propose calls from many
 // goroutines and checks that (a) the committed log is gap-free with every
 // command exactly once, and (b) every replica learned the identical command
 // sequence.
-func TestConcurrentApplyReplicasAgree(t *testing.T) {
+func TestConcurrentProposeReplicasAgree(t *testing.T) {
 	opts := testOptions(core.ProtocolProtectedMemoryPaxos)
 	// A little memory latency makes slots slow enough that concurrent
 	// submissions actually pile up into batches.
@@ -83,9 +84,9 @@ func TestConcurrentApplyReplicasAgree(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for k := 0; k < perClient; k++ {
-				index, err := l.Apply(ctx, []byte(fmt.Sprintf("c%d/%d", c, k)))
+				index, _, err := l.Propose(ctx, []byte(fmt.Sprintf("c%d/%d", c, k)))
 				if err != nil {
-					t.Errorf("Apply(c%d/%d): %v", c, k, err)
+					t.Errorf("Propose(c%d/%d): %v", c, k, err)
 					return
 				}
 				indices <- index
@@ -164,8 +165,8 @@ func TestBatchingPreservesClientFIFO(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for k := 0; k < perClient; k++ {
-				if _, err := l.Apply(ctx, []byte(fmt.Sprintf("c%d/%d", c, k))); err != nil {
-					t.Errorf("Apply(c%d/%d): %v", c, k, err)
+				if _, _, err := l.Propose(ctx, []byte(fmt.Sprintf("c%d/%d", c, k))); err != nil {
+					t.Errorf("Propose(c%d/%d): %v", c, k, err)
 					return
 				}
 			}
@@ -201,8 +202,8 @@ func TestEntriesCatchUp(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for i := 0; i < 6; i++ {
-		if _, err := l.Apply(ctx, []byte(fmt.Sprintf("cmd-%d", i))); err != nil {
-			t.Fatalf("Apply(%d): %v", i, err)
+		if _, _, err := l.Propose(ctx, []byte(fmt.Sprintf("cmd-%d", i))); err != nil {
+			t.Fatalf("Propose(%d): %v", i, err)
 		}
 	}
 	tail := l.Entries(4)
@@ -229,12 +230,12 @@ func TestLogOverMessagePassingProtocols(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			defer cancel()
 			for i := 0; i < 5; i++ {
-				index, err := l.Apply(ctx, []byte(fmt.Sprintf("cmd-%d", i)))
+				index, _, err := l.Propose(ctx, []byte(fmt.Sprintf("cmd-%d", i)))
 				if err != nil {
-					t.Fatalf("Apply(%d): %v", i, err)
+					t.Fatalf("Propose(%d): %v", i, err)
 				}
 				if index != uint64(i) {
-					t.Fatalf("Apply(%d): index = %d, want %d", i, index, i)
+					t.Fatalf("Propose(%d): index = %d, want %d", i, index, i)
 				}
 			}
 			for _, p := range l.Cluster().Procs {
@@ -257,7 +258,7 @@ func TestUnsupportedProtocol(t *testing.T) {
 }
 
 // TestHaltOnAmbiguousSlot crashes every memory so the slot cannot complete:
-// the waiting Apply must fail, and the log must halt permanently (no retry of
+// the waiting Propose must fail, and the log must halt permanently (no retry of
 // the slot, immediate errors afterwards) because the slot's outcome is
 // ambiguous.
 func TestHaltOnAmbiguousSlot(t *testing.T) {
@@ -268,19 +269,19 @@ func TestHaltOnAmbiguousSlot(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if _, err := l.Apply(ctx, []byte("doomed")); err == nil {
-		t.Fatalf("Apply succeeded with every memory crashed")
+	if _, _, err := l.Propose(ctx, []byte("doomed")); err == nil {
+		t.Fatalf("Propose succeeded with every memory crashed")
 	}
 	// The group is halted: later commands fail fast instead of queueing
 	// behind a slot that can never be resolved.
 	start := time.Now()
-	if _, err := l.Apply(ctx, []byte("after-halt")); err == nil {
-		t.Fatalf("Apply after halt succeeded")
-	} else if !strings.Contains(err.Error(), "halted") {
-		t.Fatalf("Apply after halt: err = %v, want halted", err)
+	if _, _, err := l.Propose(ctx, []byte("after-halt")); err == nil {
+		t.Fatalf("Propose after halt succeeded")
+	} else if !errors.Is(err, ErrHalted) {
+		t.Fatalf("Propose after halt: err = %v, want ErrHalted", err)
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
-		t.Fatalf("Apply after halt took %s, want fail-fast", elapsed)
+		t.Fatalf("Propose after halt took %s, want fail-fast", elapsed)
 	}
 	if l.Len() != 0 {
 		t.Fatalf("Len() = %d after halt, want 0", l.Len())
@@ -312,8 +313,8 @@ func TestCrashedReplicaDoesNotStallLog(t *testing.T) {
 	start := time.Now()
 	const cmds = 5
 	for i := 0; i < cmds; i++ {
-		if _, err := l.Apply(ctx, []byte(fmt.Sprintf("cmd-%d", i))); err != nil {
-			t.Fatalf("Apply(%d): %v", i, err)
+		if _, _, err := l.Propose(ctx, []byte(fmt.Sprintf("cmd-%d", i))); err != nil {
+			t.Fatalf("Propose(%d): %v", i, err)
 		}
 	}
 	elapsed := time.Since(start)

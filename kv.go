@@ -1,0 +1,211 @@
+package rdmaagreement
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// kvMagic tags every command replicated by ShardedKV. Entries appended to a
+// shard's log by other clients (raw Log.Propose) lack the tag and are
+// reported as foreign instead of being guessed at: before the tag existed,
+// any blob that happened to json.Unmarshal (`null`, `{}`) was silently
+// applied as a KV write. The trailing byte versions the wire format.
+var kvMagic = []byte("rkv\x00\x01")
+
+// ErrForeignCommand is the response of the KV state machine to a committed
+// entry that does not carry the KV wire tag. The entry stays in the log
+// (commitment is the log's business), but it does not touch the store and its
+// proposer is told explicitly.
+var ErrForeignCommand = errors.New("kv: committed entry is not a tagged KV command")
+
+// kvCommand is the state-machine operation replicated by ShardedKV.
+type kvCommand struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// kvResult is the machine's response to writes (the key's previous value) and
+// queries (the key's current value).
+type kvResult struct {
+	Found bool   `json:"found"`
+	Value string `json:"value"`
+}
+
+func encodeKVCommand(key, value string) ([]byte, error) {
+	blob, err := json.Marshal(kvCommand{Key: key, Value: value})
+	if err != nil {
+		return nil, fmt.Errorf("kv: encode: %w", err)
+	}
+	return append(append([]byte(nil), kvMagic...), blob...), nil
+}
+
+// decodeKVCommand rejects untagged blobs and decodes tagged ones.
+func decodeKVCommand(raw []byte) (kvCommand, error) {
+	if !bytes.HasPrefix(raw, kvMagic) {
+		return kvCommand{}, fmt.Errorf("missing KV wire tag")
+	}
+	var cmd kvCommand
+	if err := json.Unmarshal(raw[len(kvMagic):], &cmd); err != nil {
+		return kvCommand{}, err
+	}
+	return cmd, nil
+}
+
+func decodeKVResult(resp []byte) (string, bool, error) {
+	var res kvResult
+	if err := json.Unmarshal(resp, &res); err != nil {
+		return "", false, fmt.Errorf("kv: decode response: %w", err)
+	}
+	return res.Value, res.Found, nil
+}
+
+// kvMachine is the string-map StateMachine behind ShardedKV. The owning Log
+// serializes all calls, so no internal locking is needed. Foreign entries are
+// counted by the ShardedKV's OnCommit hook — exactly once per committed entry
+// — not here: one entry is applied by the authoritative machine and every
+// replica view, and counting in Apply would multiply it by the replica count.
+type kvMachine struct {
+	state map[string]string
+}
+
+func newKVMachine() StateMachine {
+	return &kvMachine{state: make(map[string]string)}
+}
+
+// Apply executes one committed write and responds with the key's previous
+// value. Untagged entries are skipped and reported via ErrForeignCommand.
+func (m *kvMachine) Apply(e LogEntry) ([]byte, error) {
+	cmd, err := decodeKVCommand(e.Cmd)
+	if err != nil {
+		return nil, fmt.Errorf("%w (index %d)", ErrForeignCommand, e.Index)
+	}
+	prev, found := m.state[cmd.Key]
+	m.state[cmd.Key] = cmd.Value
+	return json.Marshal(kvResult{Found: found, Value: prev})
+}
+
+// Query answers a key lookup; the query payload is the raw key.
+func (m *kvMachine) Query(query []byte) ([]byte, error) {
+	v, found := m.state[string(query)]
+	return json.Marshal(kvResult{Found: found, Value: v})
+}
+
+// Snapshot serializes the full store.
+func (m *kvMachine) Snapshot() ([]byte, error) { return json.Marshal(m.state) }
+
+// Restore replaces the store with a snapshot.
+func (m *kvMachine) Restore(snapshot []byte, _ uint64) error {
+	state := make(map[string]string)
+	if len(snapshot) > 0 {
+		if err := json.Unmarshal(snapshot, &state); err != nil {
+			return fmt.Errorf("kv: restore: %w", err)
+		}
+	}
+	m.state = state
+	return nil
+}
+
+// ShardedKVOptions configure a ShardedKV.
+type ShardedKVOptions = ShardedOptions
+
+// ShardedKV is a crash-tolerant key-value store sharded over independent
+// replicated-log groups: a thin client of the generic Sharded layer with
+// kvMachine plugged in as the StateMachine. Everything consensus-shaped —
+// batching, read indexes, snapshots, slot GC — lives below; this type only
+// encodes commands and decodes responses, which is the template for any new
+// workload (a counter, a queue, a lock service).
+type ShardedKV struct {
+	s       *Sharded
+	foreign atomic.Int64
+}
+
+// NewShardedKV builds the ring and one replicated-log group per shard, each
+// applying its own kvMachine replicas. Foreign (untagged) committed entries
+// are tallied through the commit hook — once per entry, regardless of how
+// many machine instances apply it — chaining any caller-supplied OnCommit.
+func NewShardedKV(opts ShardedKVOptions) (*ShardedKV, error) {
+	kv := &ShardedKV{}
+	userHook := opts.Log.OnCommit
+	opts.Log.OnCommit = func(e LogEntry) {
+		// Just the cheap tag check on the hot commit path (the hook runs on
+		// the committer): a tagged-but-malformed command is the proposer's
+		// bug, reported to them through Apply's ErrForeignCommand response.
+		if !bytes.HasPrefix(e.Cmd, kvMagic) {
+			kv.foreign.Add(1)
+		}
+		if userHook != nil {
+			userHook(e)
+		}
+	}
+	s, err := NewSharded(func() StateMachine { return newKVMachine() }, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sharded kv: %w", err)
+	}
+	kv.s = s
+	return kv, nil
+}
+
+// Put replicates key=value through the owning shard's log and returns the
+// shard's name and the command's index in that shard's log. When Put returns,
+// the write is committed and applied on every live replica.
+func (kv *ShardedKV) Put(ctx context.Context, key, value string) (string, uint64, error) {
+	cmd, err := encodeKVCommand(key, value)
+	if err != nil {
+		return "", 0, fmt.Errorf("sharded kv: %w", err)
+	}
+	name, index, _, err := kv.s.Propose(ctx, key, cmd)
+	if err != nil {
+		return name, index, fmt.Errorf("sharded kv: put %q: %w", key, err)
+	}
+	return name, index, nil
+}
+
+// Get returns the last committed value of key from the owning shard's leader
+// view: local and immediate, but formally a stale read (use GetLinearizable
+// for a read-index guarantee).
+func (kv *ShardedKV) Get(key string) (string, bool) {
+	resp, err := kv.s.StaleRead(key, []byte(key))
+	if err != nil {
+		return "", false
+	}
+	v, found, err := decodeKVResult(resp)
+	if err != nil {
+		return "", false
+	}
+	return v, found
+}
+
+// GetLinearizable returns the value of key through a read-index barrier on
+// the owning shard: it observes every Put that returned before the call
+// started, wherever it was issued.
+func (kv *ShardedKV) GetLinearizable(ctx context.Context, key string) (string, bool, error) {
+	resp, err := kv.s.Read(ctx, key, []byte(key))
+	if err != nil {
+		return "", false, fmt.Errorf("sharded kv: get %q: %w", key, err)
+	}
+	return decodeKVResult(resp)
+}
+
+// ForeignEntries reports how many committed entries across all shards were
+// skipped because they did not carry the KV wire tag.
+func (kv *ShardedKV) ForeignEntries() int64 { return kv.foreign.Load() }
+
+// Shard returns the name of the shard that owns key.
+func (kv *ShardedKV) Shard(key string) string { return kv.s.Shard(key) }
+
+// ShardLog returns the replicated log behind the named shard (for fault
+// injection and inspection).
+func (kv *ShardedKV) ShardLog(name string) *Log { return kv.s.ShardLog(name) }
+
+// Shards returns the shard names in stable order.
+func (kv *ShardedKV) Shards() []string { return kv.s.Shards() }
+
+// Len returns the total number of committed commands across all shards.
+func (kv *ShardedKV) Len() uint64 { return kv.s.Len() }
+
+// Close shuts every shard's log down. Idempotent.
+func (kv *ShardedKV) Close() { kv.s.Close() }

@@ -1,17 +1,13 @@
 package rdmaagreement
 
 import (
-	"context"
-	"encoding/json"
-	"fmt"
-	"sync"
-
 	"rdmaagreement/internal/shard"
 	"rdmaagreement/internal/smr"
 )
 
-// Log is a replicated state-machine log: one long-lived cluster serving an
-// unbounded sequence of consensus instances (slots), with command batching.
+// Log is a replicated state-machine group: one long-lived cluster serving an
+// unbounded sequence of consensus instances (slots), with command batching, a
+// pluggable StateMachine, linearizable reads and snapshot-driven slot GC.
 // See package smr for the semantics.
 type Log = smr.Log
 
@@ -21,10 +17,32 @@ type LogOptions = smr.Options
 // LogEntry is one committed command of a Log.
 type LogEntry = smr.Entry
 
-// NewLog builds a replicated log over one long-lived cluster of the
-// configured protocol (Protected Memory Paxos by default). Unlike NewCluster,
-// which wires a single-shot deployment, a Log multiplexes any number of
-// decisions over the same memories and network.
+// StateMachine is the pluggable application contract of a replicated log
+// group: Apply consumes committed entries and produces Propose responses,
+// Snapshot/Restore power slot garbage collection and lagging-replica
+// catch-up.
+type StateMachine = smr.StateMachine
+
+// Querier is optionally implemented by state machines that serve reads
+// (Log.Read, Log.ReadFrom, Log.StaleRead).
+type Querier = smr.Querier
+
+// Lifecycle errors of the replication layer, matchable with errors.Is.
+var (
+	// ErrLogClosed is returned by Propose/Read/StaleRead after Close.
+	ErrLogClosed = smr.ErrClosed
+	// ErrLogHalted is returned once a group halted on an ambiguous slot.
+	ErrLogHalted = smr.ErrHalted
+	// ErrNotQueryable is returned by reads when the group's state machine
+	// does not implement Querier.
+	ErrNotQueryable = smr.ErrNotQueryable
+)
+
+// NewLog builds a replicated state-machine group over one long-lived cluster
+// of the configured protocol (Protected Memory Paxos by default). Unlike
+// NewCluster, which wires a single-shot deployment, a Log multiplexes any
+// number of decisions over the same memories and network; LogOptions.NewSM
+// plugs the application in.
 func NewLog(opts LogOptions) (*Log, error) { return smr.NewLog(opts) }
 
 // Ring is a deterministic consistent-hash ring used to route keys across
@@ -34,139 +52,3 @@ type Ring = shard.Ring
 // NewRing builds a ring over the given shard names with vnodes virtual nodes
 // per shard (≤ 0 means shard.DefaultVirtualNodes).
 func NewRing(shards []string, vnodes int) *Ring { return shard.New(shards, vnodes) }
-
-// ShardedKVOptions configure a ShardedKV.
-type ShardedKVOptions struct {
-	// Shards is the number of independent replicated-log groups. Zero means 4.
-	Shards int
-	// VirtualNodes is the ring's virtual-node count per shard. Zero means
-	// shard.DefaultVirtualNodes.
-	VirtualNodes int
-	// Log configures each shard's replicated log (protocol, topology,
-	// batching). The zero value is a 3-process, 3-memory Protected Memory
-	// Paxos group.
-	Log LogOptions
-}
-
-// kvCommand is the state-machine operation replicated by ShardedKV.
-type kvCommand struct {
-	Key   string `json:"key"`
-	Value string `json:"value"`
-}
-
-// ShardedKV is a crash-tolerant key-value store sharded over S independent
-// replicated-log groups by a consistent-hash ring. Each group owns one
-// long-lived cluster; unrelated keys therefore commit in parallel, scaling
-// aggregate throughput with the shard count while each key still enjoys the
-// underlying protocol's resilience.
-type ShardedKV struct {
-	ring *shard.Ring
-	logs map[string]*smr.Log
-
-	mu    sync.RWMutex
-	state map[string]string
-}
-
-// NewShardedKV builds the ring and one replicated-log group per shard.
-func NewShardedKV(opts ShardedKVOptions) (*ShardedKV, error) {
-	if opts.Shards <= 0 {
-		opts.Shards = 4
-	}
-	names := shard.ShardNames(opts.Shards)
-	kv := &ShardedKV{
-		ring:  shard.New(names, opts.VirtualNodes),
-		logs:  make(map[string]*smr.Log, opts.Shards),
-		state: make(map[string]string),
-	}
-	for _, name := range names {
-		logOpts := opts.Log
-		userHook := opts.Log.OnCommit
-		logOpts.OnCommit = func(e LogEntry) {
-			kv.applyEntry(e)
-			// Chain a caller-supplied hook rather than silently dropping it.
-			if userHook != nil {
-				userHook(e)
-			}
-		}
-		l, err := smr.NewLog(logOpts)
-		if err != nil {
-			kv.Close()
-			return nil, fmt.Errorf("sharded kv: shard %s: %w", name, err)
-		}
-		kv.logs[name] = l
-	}
-	return kv, nil
-}
-
-// applyEntry materializes one committed command into the store's state. Each
-// shard's committer calls it in that shard's log order; keys never span
-// shards, so per-key ordering is exactly per-shard log ordering.
-func (kv *ShardedKV) applyEntry(e LogEntry) {
-	var cmd kvCommand
-	if err := json.Unmarshal(e.Cmd, &cmd); err != nil {
-		return // foreign entry appended directly through the shard's Log
-	}
-	kv.mu.Lock()
-	kv.state[cmd.Key] = cmd.Value
-	kv.mu.Unlock()
-}
-
-// Put replicates key=value through the owning shard's log and returns the
-// shard's name and the command's index in that shard's log. When Put returns,
-// the write is committed and visible to Get.
-func (kv *ShardedKV) Put(ctx context.Context, key, value string) (string, uint64, error) {
-	name := kv.ring.Shard(key)
-	l, ok := kv.logs[name]
-	if !ok {
-		return "", 0, fmt.Errorf("sharded kv: no shard for key %q", key)
-	}
-	blob, err := json.Marshal(kvCommand{Key: key, Value: value})
-	if err != nil {
-		return "", 0, fmt.Errorf("sharded kv: encode: %w", err)
-	}
-	index, err := l.Apply(ctx, blob)
-	if err != nil {
-		return "", 0, fmt.Errorf("sharded kv: put %q: %w", key, err)
-	}
-	return name, index, nil
-}
-
-// Get returns the last committed value of key.
-func (kv *ShardedKV) Get(key string) (string, bool) {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
-	v, ok := kv.state[key]
-	return v, ok
-}
-
-// Shard returns the name of the shard that owns key.
-func (kv *ShardedKV) Shard(key string) string { return kv.ring.Shard(key) }
-
-// ShardLog returns the replicated log behind the named shard (for fault
-// injection and inspection).
-func (kv *ShardedKV) ShardLog(name string) *smr.Log { return kv.logs[name] }
-
-// Shards returns the shard names in stable order.
-func (kv *ShardedKV) Shards() []string { return kv.ring.Shards() }
-
-// Len returns the total number of committed commands across all shards.
-func (kv *ShardedKV) Len() uint64 {
-	var total uint64
-	for _, l := range kv.logs {
-		total += l.Len()
-	}
-	return total
-}
-
-// Close shuts every shard's log down.
-func (kv *ShardedKV) Close() {
-	var wg sync.WaitGroup
-	for _, l := range kv.logs {
-		wg.Add(1)
-		go func(l *smr.Log) {
-			defer wg.Done()
-			l.Close()
-		}(l)
-	}
-	wg.Wait()
-}

@@ -12,11 +12,14 @@
 //     network.
 //   - Proposals (Cluster.Proposer(p).Propose): drive consensus instances and
 //     observe decisions, causal delay counts and fast-path usage.
-//   - Replication (NewLog, NewShardedKV): turn the single-shot protocols into
-//     a replicated state-machine log — one long-lived cluster multiplexing an
-//     unbounded sequence of slots, with command batching — and shard keys
-//     across independent log groups on a consistent-hash ring for horizontal
-//     throughput.
+//   - Replication (NewLog, NewSharded, NewShardedKV): turn the single-shot
+//     protocols into a replicated state machine — one long-lived cluster
+//     multiplexing an unbounded sequence of slots, with command batching, a
+//     pluggable StateMachine (Propose returns the machine's response),
+//     linearizable reads via read-index barriers, and snapshot-driven slot GC
+//     that bounds memory independent of log length — and shard keys across
+//     independent groups on a consistent-hash ring for horizontal throughput.
+//     ShardedKV is the reference StateMachine client.
 //   - Experiments (Experiments, ExperimentIDs): regenerate the tables in
 //     EXPERIMENTS.md that reproduce the paper's quantitative claims.
 //

@@ -2,6 +2,8 @@ package rdmaagreement
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -75,12 +77,12 @@ func TestPublicAPILog(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for i := 0; i < 5; i++ {
-		index, err := l.Apply(ctx, []byte{byte(i)})
+		index, _, err := l.Propose(ctx, []byte{byte(i)})
 		if err != nil {
-			t.Fatalf("Apply(%d): %v", i, err)
+			t.Fatalf("Propose(%d): %v", i, err)
 		}
 		if index != uint64(i) {
-			t.Fatalf("Apply(%d): index = %d, want %d", i, index, i)
+			t.Fatalf("Propose(%d): index = %d, want %d", i, index, i)
 		}
 	}
 	if l.Len() != 5 {
@@ -121,5 +123,110 @@ func TestPublicAPIShardedKV(t *testing.T) {
 	}
 	if _, ok := kv.Get("missing"); ok {
 		t.Fatalf("Get(missing) found a value")
+	}
+}
+
+// counterMachine is a minimal non-KV workload for the generic Sharded layer:
+// any command increments, queries answer the count. It demonstrates that a
+// new workload is a StateMachine plugin, not a fork of ShardedKV.
+type counterMachine struct{ n int }
+
+func (m *counterMachine) Apply(LogEntry) ([]byte, error) {
+	m.n++
+	return []byte(fmt.Sprintf("%d", m.n)), nil
+}
+func (m *counterMachine) Query([]byte) ([]byte, error) { return []byte(fmt.Sprintf("%d", m.n)), nil }
+func (m *counterMachine) Snapshot() ([]byte, error)    { return []byte(fmt.Sprintf("%d", m.n)), nil }
+func (m *counterMachine) Restore(snapshot []byte, _ uint64) error {
+	_, err := fmt.Sscanf(string(snapshot), "%d", &m.n)
+	return err
+}
+
+func TestPublicAPISharded(t *testing.T) {
+	s, err := NewSharded(func() StateMachine { return &counterMachine{} }, ShardedOptions{
+		Shards: 2,
+		Log:    LogOptions{Cluster: Options{Processes: 3, Memories: 3}},
+	})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	key := "bumps"
+	for i := 1; i <= 3; i++ {
+		_, _, resp, err := s.Propose(ctx, key, []byte("bump"))
+		if err != nil {
+			t.Fatalf("Propose(%d): %v", i, err)
+		}
+		if string(resp) != fmt.Sprintf("%d", i) {
+			t.Fatalf("Propose(%d) response = %q, want %d", i, resp, i)
+		}
+	}
+	got, err := s.Read(ctx, key, nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(got) != "3" {
+		t.Fatalf("Read = %q, want 3", got)
+	}
+	if stale, err := s.StaleRead(key, nil); err != nil || string(stale) != "3" {
+		t.Fatalf("StaleRead = %q, %v; want 3", stale, err)
+	}
+}
+
+func TestPublicAPIShardedKVLinearizableAndForeign(t *testing.T) {
+	kv, err := NewShardedKV(ShardedKVOptions{
+		Shards: 2,
+		Log:    LogOptions{Cluster: Options{Processes: 3, Memories: 3}},
+	})
+	if err != nil {
+		t.Fatalf("NewShardedKV: %v", err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, _, err := kv.Put(ctx, "alpha", "one"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, ok, err := kv.GetLinearizable(ctx, "alpha")
+	if err != nil || !ok || v != "one" {
+		t.Fatalf("GetLinearizable(alpha) = %q, %v, %v; want \"one\", true, nil", v, ok, err)
+	}
+	if _, ok, err := kv.GetLinearizable(ctx, "missing"); err != nil || ok {
+		t.Fatalf("GetLinearizable(missing) = ok=%v, err=%v; want false, nil", ok, err)
+	}
+
+	// A raw, untagged blob appended through the shard's log must be reported
+	// as foreign — not guessed into a KV write (the old decoder applied any
+	// JSON-shaped blob, `null` included).
+	shardLog := kv.ShardLog(kv.Shard("alpha"))
+	_, _, err = shardLog.Propose(ctx, []byte(`{"key":"alpha","value":"hijacked"}`))
+	if !errors.Is(err, ErrForeignCommand) {
+		t.Fatalf("raw Propose response err = %v, want ErrForeignCommand", err)
+	}
+	if n := kv.ForeignEntries(); n != 1 {
+		t.Fatalf("ForeignEntries() = %d, want exactly 1 (one entry, counted once — not once per replica machine)", n)
+	}
+	if v, _ := kv.Get("alpha"); v != "one" {
+		t.Fatalf("Get(alpha) = %q after foreign entry, want \"one\" (store must not apply untagged blobs)", v)
+	}
+}
+
+func TestPublicAPILifecycleErrors(t *testing.T) {
+	l, err := NewLog(LogOptions{Cluster: Options{Processes: 3, Memories: 3}})
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, _, err := l.Propose(ctx, []byte("x")); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("Propose after Close: err = %v, want ErrLogClosed", err)
+	}
+	if _, err := l.Read(ctx, nil); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("Read after Close: err = %v, want ErrLogClosed", err)
 	}
 }

@@ -1,0 +1,143 @@
+package rdmaagreement
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rdmaagreement/internal/shard"
+	"rdmaagreement/internal/smr"
+)
+
+// ShardedOptions configure a Sharded replicated state machine.
+type ShardedOptions struct {
+	// Shards is the number of independent replicated-log groups. Zero means 4.
+	Shards int
+	// VirtualNodes is the ring's virtual-node count per shard. Zero means
+	// shard.DefaultVirtualNodes.
+	VirtualNodes int
+	// Log configures each shard's replicated log (protocol, topology,
+	// batching, snapshot interval). The zero value is a 3-process, 3-memory
+	// Protected Memory Paxos group. Log.NewSM is overridden by the factory
+	// passed to NewSharded.
+	Log LogOptions
+}
+
+// Sharded runs one replicated state machine per shard of a consistent-hash
+// ring: every group owns its own instances of the application's StateMachine
+// (built by the factory given to NewSharded), so unrelated keys commit — and
+// snapshot, and garbage-collect — in parallel while each key still enjoys the
+// underlying protocol's resilience. It is the generic layer every workload
+// plugs into; ShardedKV is its ~100-line reference client.
+//
+// Keys never span shards, so per-key ordering is exactly per-shard log
+// ordering; cross-shard operations get no atomicity.
+type Sharded struct {
+	ring *shard.Ring
+	logs map[string]*smr.Log
+}
+
+// NewSharded builds the ring and one replicated-log group per shard, each
+// owning state machines built by newSM (one authoritative machine plus one
+// learner view per replica, per shard). A nil newSM builds plain logs of
+// opaque commands.
+func NewSharded(newSM func() StateMachine, opts ShardedOptions) (*Sharded, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	names := shard.ShardNames(opts.Shards)
+	s := &Sharded{
+		ring: shard.New(names, opts.VirtualNodes),
+		logs: make(map[string]*smr.Log, opts.Shards),
+	}
+	for _, name := range names {
+		logOpts := opts.Log
+		logOpts.NewSM = newSM
+		l, err := smr.NewLog(logOpts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("sharded: shard %s: %w", name, err)
+		}
+		s.logs[name] = l
+	}
+	return s, nil
+}
+
+// group resolves the owning shard of key.
+func (s *Sharded) group(key string) (string, *smr.Log, error) {
+	name := s.ring.Shard(key)
+	l, ok := s.logs[name]
+	if !ok {
+		return "", nil, fmt.Errorf("sharded: no shard for key %q", key)
+	}
+	return name, l, nil
+}
+
+// Propose replicates cmd through the shard owning key and returns the shard's
+// name, the command's index in that shard's log, and the state machine's
+// response. When Propose returns without error, the command is committed and
+// applied.
+func (s *Sharded) Propose(ctx context.Context, key string, cmd []byte) (string, uint64, []byte, error) {
+	name, l, err := s.group(key)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	index, resp, err := l.Propose(ctx, cmd)
+	if err != nil {
+		return name, index, resp, fmt.Errorf("sharded: propose %q: %w", key, err)
+	}
+	return name, index, resp, nil
+}
+
+// Read serves a linearizable query against the shard owning key: it is
+// guaranteed to observe every Propose on that key that returned before the
+// Read started. See Log.Read.
+func (s *Sharded) Read(ctx context.Context, key string, query []byte) ([]byte, error) {
+	_, l, err := s.group(key)
+	if err != nil {
+		return nil, err
+	}
+	return l.Read(ctx, query)
+}
+
+// StaleRead serves a local, possibly-stale query from the leader replica's
+// learner view of the shard owning key — no consensus round, no barrier.
+func (s *Sharded) StaleRead(key string, query []byte) ([]byte, error) {
+	_, l, err := s.group(key)
+	if err != nil {
+		return nil, err
+	}
+	return l.StaleRead(l.Cluster().Leader(), query)
+}
+
+// Shard returns the name of the shard that owns key.
+func (s *Sharded) Shard(key string) string { return s.ring.Shard(key) }
+
+// ShardLog returns the replicated log behind the named shard (for fault
+// injection and inspection).
+func (s *Sharded) ShardLog(name string) *smr.Log { return s.logs[name] }
+
+// Shards returns the shard names in stable order.
+func (s *Sharded) Shards() []string { return s.ring.Shards() }
+
+// Len returns the total number of committed commands across all shards.
+func (s *Sharded) Len() uint64 {
+	var total uint64
+	for _, l := range s.logs {
+		total += l.Len()
+	}
+	return total
+}
+
+// Close shuts every shard's log down. Like Log.Close it is idempotent.
+func (s *Sharded) Close() {
+	var wg sync.WaitGroup
+	for _, l := range s.logs {
+		wg.Add(1)
+		go func(l *smr.Log) {
+			defer wg.Done()
+			l.Close()
+		}(l)
+	}
+	wg.Wait()
+}
