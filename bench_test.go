@@ -268,6 +268,40 @@ func BenchmarkLogAppend(b *testing.B) {
 			b.ReportMetric(float64(l.Len())/float64(slots), "cmds/slot")
 		}
 	})
+	// Pipelined appends: identical configs except the pipeline depth, in the
+	// latency-bound regime the paper targets (slot cost ≈ memory round
+	// trips). The batch is bounded so concurrent submitters produce several
+	// batches, which is what a pipeline can overlap: at depth 1 the slots
+	// serialize, at depth 4 up to four slots hide each other's fabric
+	// latency while the reorder buffer keeps commit order gap-free. Depth 4
+	// is expected ≥ 1.5x the depth-1 rate.
+	for _, depth := range []int{1, 4} {
+		depth := depth
+		b.Run(fmt.Sprintf("pipeline=%d", depth), func(b *testing.B) {
+			l, err := NewLog(LogOptions{
+				Cluster:  Options{Processes: 3, Memories: 3, MemoryLatency: time.Millisecond},
+				MaxBatch: 2,
+				Pipeline: depth,
+			})
+			if err != nil {
+				b.Fatalf("NewLog: %v", err)
+			}
+			b.Cleanup(l.Close)
+			ctx := context.Background()
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, err := l.Propose(ctx, []byte("bench")); err != nil {
+						b.Errorf("Propose: %v", err) // Fatalf must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(l.Cluster().PeakInstances()), "peak-slots-in-flight")
+		})
+	}
 }
 
 // BenchmarkShardedKV measures aggregate put throughput as the key space is

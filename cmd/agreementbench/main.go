@@ -5,7 +5,10 @@
 // It also benchmarks the replicated-log subsystem built on top of the paper's
 // protocols: -shards switches to throughput mode, which drives a sharded
 // key-value store over long-lived consensus groups and reports aggregate
-// appends/sec.
+// appends/sec plus append latency percentiles; -pipeline sets the per-group
+// slot pipeline depth, and -json writes the run's results as a
+// machine-readable record for CI. -compare gates two such records against
+// each other (the bench-smoke CI job uses it to fail on regressions).
 //
 // Usage:
 //
@@ -15,10 +18,21 @@
 //	agreementbench -shards 4 -batch 8 -ops 2000 -clients 64 -latency 1ms
 //	agreementbench -shards 2 -snap-interval 64   # snapshot-driven slot GC: report live regions
 //	agreementbench -shards 2 -reads 200          # read-index (linearizable) read latency
+//	agreementbench -shards 1 -pipeline 4 -json out.json   # pipelined commit, JSON record
+//	agreementbench -compare base.json new.json   # exit 3 unless new is faster than base
+//
+// Diagnostics and usage go to stderr; only results go to stdout. Exit codes
+// are distinct so CI can tell failure modes apart:
+//
+//	0  success
+//	1  the benchmark failed to run (cluster error, commit failure, bad file)
+//	2  usage error (unknown flag, malformed invocation)
+//	3  -compare found a regression (the benchmarks ran fine; the numbers did not)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +43,21 @@ import (
 	"rdmaagreement"
 )
 
+// Exit codes. flag.ExitOnError also exits 2 on parse errors, matching
+// exitUsage.
+const (
+	exitOK         = 0
+	exitRuntime    = 1
+	exitUsage      = 2
+	exitRegression = 3
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.CommandLine.SetOutput(os.Stderr)
 	table := flag.String("table", "all", "experiment to run (e1..e9, or 'all')")
 	shards := flag.Int("shards", 0, "run sharded-log throughput mode with this many groups (0 = experiment tables)")
 	batch := flag.Int("batch", 8, "throughput mode: max commands agreed as one slot value")
@@ -38,21 +66,49 @@ func main() {
 	latency := flag.Duration("latency", time.Millisecond, "throughput mode: simulated per-operation memory latency")
 	reads := flag.Int("reads", 0, "throughput mode: linearizable (read-index) reads to issue after the puts, reporting their latency")
 	snapInterval := flag.Int("snap-interval", 0, "throughput mode: per-group snapshot interval driving slot GC (0 = smr default, <0 disables)")
+	pipeline := flag.Int("pipeline", 0, "throughput mode: slots in flight per group (0 = smr default, 1 = serial commit)")
+	jsonPath := flag.String("json", "", "throughput mode: also write the results as JSON to this file")
+	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new's appends/sec beat base's by -min-speedup")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "compare mode: required appends/sec ratio new/base (1.0 = strictly faster)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "agreementbench: -compare needs exactly two arguments: base.json new.json")
+			flag.Usage()
+			return exitUsage
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *minSpeedup)
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "agreementbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		return exitUsage
+	}
 
 	var err error
 	if *shards > 0 {
-		err = runThroughput(*shards, *batch, *ops, *clients, *latency, *reads, *snapInterval)
+		err = runThroughput(throughputConfig{
+			Shards:       *shards,
+			Batch:        *batch,
+			Ops:          *ops,
+			Clients:      *clients,
+			Latency:      *latency,
+			Reads:        *reads,
+			SnapInterval: *snapInterval,
+			Pipeline:     *pipeline,
+		}, *jsonPath)
 	} else {
-		err = run(*table)
+		err = runTables(*table)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
-		os.Exit(1)
+		return exitRuntime
 	}
+	return exitOK
 }
 
-func run(which string) error {
+func runTables(which string) error {
 	experiments := rdmaagreement.Experiments()
 	ids := rdmaagreement.ExperimentIDs()
 	if which != "all" {
@@ -79,16 +135,51 @@ func runOne(id string, runner func() (rdmaagreement.Table, error)) error {
 	return nil
 }
 
+// throughputConfig is one throughput run's knobs, echoed into the JSON record
+// so a comparison knows what it is comparing.
+type throughputConfig struct {
+	Shards       int           `json:"shards"`
+	Batch        int           `json:"batch"`
+	Ops          int           `json:"ops"`
+	Clients      int           `json:"clients"`
+	Latency      time.Duration `json:"latency_ns"`
+	Reads        int           `json:"reads"`
+	SnapInterval int           `json:"snap_interval"`
+	Pipeline     int           `json:"pipeline"`
+}
+
+// throughputResult is the machine-readable record -json writes and -compare
+// gates on.
+type throughputResult struct {
+	Config        throughputConfig `json:"config"`
+	ElapsedMS     float64          `json:"elapsed_ms"`
+	AppendsPerSec float64          `json:"appends_per_sec"`
+	AppendP50MS   float64          `json:"append_p50_ms"`
+	AppendP99MS   float64          `json:"append_p99_ms"`
+	Slots         uint64           `json:"slots"`
+	Snapshots     int              `json:"snapshots"`
+	LiveRegions   int              `json:"live_regions"`
+	LiveInstances int              `json:"live_instances"`
+	PeakInstances int              `json:"peak_instances"`
+	Recovered     uint64           `json:"recovered_slots"`
+	Refused       uint64           `json:"refused_noops"`
+	ReadsPerSec   float64          `json:"reads_per_sec,omitempty"`
+	ReadP50MS     float64          `json:"read_p50_ms,omitempty"`
+	ReadP99MS     float64          `json:"read_p99_ms,omitempty"`
+}
+
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
-// reports aggregate throughput, per-group batching statistics, the
-// snapshot/slot-GC footprint and (with -reads) linearizable read latency.
-func runThroughput(shards, batch, ops, clients int, latency time.Duration, reads, snapInterval int) error {
+// reports aggregate throughput, append latency percentiles, per-group
+// batching statistics, the snapshot/slot-GC footprint, pipeline/recovery
+// counters and (with -reads) linearizable read latency.
+func runThroughput(cfg throughputConfig, jsonPath string) error {
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
-		Shards: shards,
+		Shards: cfg.Shards,
 		Log: rdmaagreement.LogOptions{
-			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: latency},
-			MaxBatch:         batch,
-			SnapshotInterval: snapInterval,
+			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency},
+			MaxBatch:         cfg.Batch,
+			Pipeline:         cfg.Pipeline,
+			SnapshotInterval: cfg.SnapInterval,
 		},
 	})
 	if err != nil {
@@ -100,26 +191,29 @@ func runThroughput(shards, batch, ops, clients int, latency time.Duration, reads
 	defer cancel()
 
 	work := make(chan int)
-	errs := make(chan error, clients)
+	errs := make(chan error, cfg.Clients)
 	stop := make(chan struct{}) // closed on the first Put error so the producer never blocks on dead workers
 	var stopOnce sync.Once
 	var wg sync.WaitGroup
+	perClient := make([][]time.Duration, cfg.Clients)
 	start := time.Now()
-	for c := 0; c < clients; c++ {
+	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for i := range work {
+				t0 := time.Now()
 				if _, _, err := kv.Put(ctx, fmt.Sprintf("key/%d", i), fmt.Sprintf("v%d", i)); err != nil {
 					errs <- err
 					stopOnce.Do(func() { close(stop) })
 					return
 				}
+				perClient[c] = append(perClient[c], time.Since(t0))
 			}
-		}()
+		}(c)
 	}
 producer:
-	for i := 0; i < ops; i++ {
+	for i := 0; i < cfg.Ops; i++ {
 		select {
 		case work <- i:
 		case <-stop:
@@ -134,10 +228,25 @@ producer:
 		return fmt.Errorf("throughput put: %w", err)
 	}
 
-	fmt.Printf("sharded-log throughput — %d groups, %d clients, batch ≤ %d, memory latency %s\n",
-		shards, clients, batch, latency)
-	fmt.Printf("  committed %d puts in %s: %.0f appends/sec aggregate\n",
-		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds())
+	var appendLat []time.Duration
+	for _, lats := range perClient {
+		appendLat = append(appendLat, lats...)
+	}
+	sort.Slice(appendLat, func(i, j int) bool { return appendLat[i] < appendLat[j] })
+
+	result := throughputResult{
+		Config:        cfg,
+		ElapsedMS:     float64(elapsed) / float64(time.Millisecond),
+		AppendsPerSec: float64(cfg.Ops) / elapsed.Seconds(),
+		AppendP50MS:   millis(percentile(appendLat, 50)),
+		AppendP99MS:   millis(percentile(appendLat, 99)),
+	}
+
+	fmt.Printf("sharded-log throughput — %d groups, %d clients, batch ≤ %d, pipeline %s, memory latency %s\n",
+		cfg.Shards, cfg.Clients, cfg.Batch, pipelineLabel(cfg.Pipeline), cfg.Latency)
+	fmt.Printf("  committed %d puts in %s: %.0f appends/sec aggregate, latency p50 %s / p99 %s\n",
+		cfg.Ops, elapsed.Round(time.Millisecond), result.AppendsPerSec,
+		percentile(appendLat, 50).Round(time.Microsecond), percentile(appendLat, 99).Round(time.Microsecond))
 	var slots uint64
 	for _, name := range kv.Shards() {
 		l := kv.ShardLog(name)
@@ -149,46 +258,130 @@ producer:
 		fmt.Printf("  %s: %d entries over %d slots (%.1f cmds/slot)\n", name, l.Len(), l.Slots(), avg)
 	}
 	if slots > 0 {
-		fmt.Printf("  batching amortization: %.1f commands per consensus slot overall\n", float64(ops)/float64(slots))
+		fmt.Printf("  batching amortization: %.1f commands per consensus slot overall\n", float64(cfg.Ops)/float64(slots))
 	}
+	result.Slots = slots
 
-	var snapshots, liveRegions int
 	var firstIndex uint64
 	for _, name := range kv.Shards() {
 		l := kv.ShardLog(name)
-		snapshots += l.Snapshots()
-		liveRegions += l.Cluster().LiveRegions()
+		result.Snapshots += l.Snapshots()
+		result.LiveRegions += l.Cluster().LiveRegions()
+		result.LiveInstances += l.Cluster().LiveInstances()
+		result.PeakInstances += l.Cluster().PeakInstances()
 		firstIndex += l.FirstIndex()
 	}
 	fmt.Printf("  slot GC: %d snapshots, %d entries truncated, %d live memory regions for %d total slots\n",
-		snapshots, firstIndex, liveRegions, slots)
+		result.Snapshots, firstIndex, result.LiveRegions, slots)
+	stats := kv.Stats()
+	result.Recovered, result.Refused = stats.Recovered, stats.Refused
+	fmt.Printf("  pipeline: %d peak concurrent slot instances; recovery: %d slots recovered (%d refused no-ops)\n",
+		result.PeakInstances, stats.Recovered, stats.Refused)
 
-	if reads > 0 {
-		keySpace := ops
+	if cfg.Reads > 0 {
+		keySpace := cfg.Ops
 		if keySpace < 1 {
 			keySpace = 1 // reads-only invocation (-ops 0): probe one key
 		}
-		latencies := make([]time.Duration, 0, reads)
+		readLat := make([]time.Duration, 0, cfg.Reads)
 		readStart := time.Now()
-		for i := 0; i < reads; i++ {
+		for i := 0; i < cfg.Reads; i++ {
 			key := fmt.Sprintf("key/%d", i%keySpace)
 			t0 := time.Now()
 			if _, _, err := kv.GetLinearizable(ctx, key); err != nil {
 				return fmt.Errorf("linearizable read: %w", err)
 			}
-			latencies = append(latencies, time.Since(t0))
+			readLat = append(readLat, time.Since(t0))
 		}
 		readElapsed := time.Since(readStart)
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
 		var sum time.Duration
-		for _, d := range latencies {
+		for _, d := range readLat {
 			sum += d
 		}
+		result.ReadsPerSec = float64(cfg.Reads) / readElapsed.Seconds()
+		result.ReadP50MS = millis(percentile(readLat, 50))
+		result.ReadP99MS = millis(percentile(readLat, 99))
 		fmt.Printf("  linearizable reads: %d in %s (%.0f reads/sec), latency mean %s / p50 %s / p99 %s\n",
-			reads, readElapsed.Round(time.Millisecond), float64(reads)/readElapsed.Seconds(),
-			(sum / time.Duration(reads)).Round(time.Microsecond),
-			latencies[len(latencies)/2].Round(time.Microsecond),
-			latencies[len(latencies)*99/100].Round(time.Microsecond))
+			cfg.Reads, readElapsed.Round(time.Millisecond), result.ReadsPerSec,
+			(sum / time.Duration(cfg.Reads)).Round(time.Microsecond),
+			percentile(readLat, 50).Round(time.Microsecond),
+			percentile(readLat, 99).Round(time.Microsecond))
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode result: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
 	}
 	return nil
+}
+
+func pipelineLabel(pipeline int) string {
+	if pipeline == 0 {
+		return "default"
+	}
+	return fmt.Sprintf("%d", pipeline)
+}
+
+// percentile returns the p-th percentile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runCompare gates one throughput record against another: it exits with
+// exitRegression when the new record's appends/sec do not beat the base's by
+// minSpeedup. Runtime problems (unreadable files, zero rates) are exitRuntime
+// — a bench that failed to run is a different signal than a bench that ran
+// slower.
+func runCompare(basePath, newPath string, minSpeedup float64) int {
+	base, err := readResult(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+		return exitRuntime
+	}
+	new_, err := readResult(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+		return exitRuntime
+	}
+	if base.AppendsPerSec <= 0 || new_.AppendsPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "agreementbench: compare: non-positive appends/sec (base %.2f, new %.2f)\n",
+			base.AppendsPerSec, new_.AppendsPerSec)
+		return exitRuntime
+	}
+	ratio := new_.AppendsPerSec / base.AppendsPerSec
+	fmt.Printf("compare: base %.0f appends/sec (p99 %.2fms) vs new %.0f appends/sec (p99 %.2fms): %.2fx (need > %.2fx)\n",
+		base.AppendsPerSec, base.AppendP99MS, new_.AppendsPerSec, new_.AppendP99MS, ratio, minSpeedup)
+	if ratio <= minSpeedup {
+		fmt.Fprintf(os.Stderr, "agreementbench: regression: %s is not faster than %s (%.2fx <= %.2fx)\n",
+			newPath, basePath, ratio, minSpeedup)
+		return exitRegression
+	}
+	return exitOK
+}
+
+func readResult(path string) (throughputResult, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return throughputResult{}, fmt.Errorf("compare: %w", err)
+	}
+	var res throughputResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return throughputResult{}, fmt.Errorf("compare %s: %w", path, err)
+	}
+	return res, nil
 }

@@ -157,9 +157,11 @@ type Cluster struct {
 
 	proposers map[types.ProcID]Proposer
 
-	mu       sync.Mutex
-	routers  map[types.ProcID]*netsim.Router
-	stoppers []func()
+	mu            sync.Mutex
+	routers       map[types.ProcID]*netsim.Router
+	stoppers      []func()
+	liveInstances int // open (NewInstance'd, not yet Closed) consensus instances
+	peakInstances int // high-water mark of liveInstances
 }
 
 // NewCluster builds a cluster running the given protocol.
@@ -253,6 +255,46 @@ func (c *Cluster) Close() {
 
 // Proposer returns the node of process p.
 func (c *Cluster) Proposer(p types.ProcID) Proposer { return c.proposers[p] }
+
+// LiveInstances returns how many consensus instances are currently open
+// (created by NewInstance/NewRecoveryInstance and not yet Closed). A
+// pipelined replicated log keeps up to its pipeline depth open per group.
+func (c *Cluster) LiveInstances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveInstances
+}
+
+// PeakInstances returns the high-water mark of LiveInstances over the
+// cluster's lifetime — the observed slot-level concurrency.
+func (c *Cluster) PeakInstances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peakInstances
+}
+
+// instanceOpened and instanceClosed maintain the live-instance count. An
+// instance is counted exactly once: Close is idempotent and an instance
+// abandoned half-built (a builder failed) was never counted.
+func (c *Cluster) instanceOpened(inst *Instance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst.counted = true
+	c.liveInstances++
+	if c.liveInstances > c.peakInstances {
+		c.peakInstances = c.liveInstances
+	}
+}
+
+func (c *Cluster) instanceClosed(inst *Instance) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !inst.counted {
+		return
+	}
+	inst.counted = false
+	c.liveInstances--
+}
 
 // Leader returns the configured initial/fast-path leader.
 func (c *Cluster) Leader() types.ProcID { return c.Opts.Leader }

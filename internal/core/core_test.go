@@ -166,3 +166,45 @@ func TestReleaseInstanceNoOpForMessagePassing(t *testing.T) {
 		t.Fatalf("ReleaseInstance on paxos released %d regions, want 0", released)
 	}
 }
+
+func TestLiveInstanceBookkeeping(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 3, Memories: 3, InstancesOnly: true})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	if live := cluster.LiveInstances(); live != 0 {
+		t.Fatalf("LiveInstances() = %d at start, want 0", live)
+	}
+	a, err := cluster.NewInstance(1)
+	if err != nil {
+		t.Fatalf("NewInstance(1): %v", err)
+	}
+	b, err := cluster.NewRecoveryInstance(1, 2)
+	if err != nil {
+		t.Fatalf("NewRecoveryInstance(1, 2): %v", err)
+	}
+	if live, peak := cluster.LiveInstances(), cluster.PeakInstances(); live != 2 || peak != 2 {
+		t.Fatalf("LiveInstances()/PeakInstances() = %d/%d with two open instances, want 2/2", live, peak)
+	}
+	a.Close()
+	a.Close() // idempotent: must not double-decrement
+	if live := cluster.LiveInstances(); live != 1 {
+		t.Fatalf("LiveInstances() = %d after one Close, want 1", live)
+	}
+	b.Close()
+	if live, peak := cluster.LiveInstances(), cluster.PeakInstances(); live != 0 || peak != 2 {
+		t.Fatalf("LiveInstances()/PeakInstances() = %d/%d after closing all, want 0/2", live, peak)
+	}
+}
+
+func TestRecoveryInstanceRequiresProposer(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{Processes: 3, Memories: 3, InstancesOnly: true})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.NewRecoveryInstance(1, 0); err == nil {
+		t.Fatalf("NewRecoveryInstance with no proposer succeeded, want error")
+	}
+}

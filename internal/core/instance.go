@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rdmaagreement/internal/fastpaxos"
+	"rdmaagreement/internal/omega"
 	"rdmaagreement/internal/paxos"
 	"rdmaagreement/internal/pmpaxos"
 	"rdmaagreement/internal/types"
@@ -34,17 +35,48 @@ type Instance struct {
 	cluster  *Cluster
 	handles  map[types.ProcID]SlotProposer
 	cleanups []func()
+	counted  bool // this instance is in the cluster's live-instance count
 }
 
 // NewInstance creates consensus instance slot over the cluster's long-lived
 // substrates. Slots are independent: their memory regions and message kinds
-// never collide, so any number of instances may run concurrently.
+// never collide, so any number of instances may run concurrently — the
+// pipelined committer keeps several open at once, and the cluster tracks the
+// live count (LiveInstances/PeakInstances).
 //
 // Instances are supported for the slot-capable protocols: Protected Memory
 // Paxos, Paxos and Fast Paxos. The remaining protocols hard-code their
 // single-shot memory layout (Cheap Quorum's panic region, Disk Paxos's
 // blocks) and report an error.
 func (c *Cluster) NewInstance(slot uint64) (*Instance, error) {
+	return c.newInstance(slot, c.Oracle)
+}
+
+// NewRecoveryInstance creates a consensus instance for slot whose nodes all
+// treat proposer as the leader, regardless of the cluster's Ω oracle. It is
+// the substrate of ambiguous-slot recovery: when the regular proposer's
+// attempt at a slot times out mid-agreement, a recovery proposer must re-run
+// the slot to learn its fate, and the oracle — which still points at the
+// regular leader — would otherwise keep every other process from proposing.
+//
+// The oracle override is liveness-only (protocol safety never depends on Ω).
+// For Protected Memory Paxos the instance shares the slot's durable state in
+// the cluster's memories: the recovery proposer's phase 1 steals the write
+// permission — fencing any still-in-flight write of the original attempt —
+// and adopts the highest accepted value it reads, so a persisted original
+// value is re-decided, never lost. The message-passing protocols keep
+// acceptor state inside an instance's nodes, so a recovery instance starts
+// from scratch there; that is safe exactly because a timed-out proposal has
+// never disseminated a decision (see smr's recovery for the argument), but
+// callers must not expect value adoption from those backends.
+func (c *Cluster) NewRecoveryInstance(slot uint64, proposer types.ProcID) (*Instance, error) {
+	if proposer == types.NoProcess {
+		return nil, fmt.Errorf("%w: recovery instance needs a proposer", types.ErrInvalidConfig)
+	}
+	return c.newInstance(slot, omega.NewStatic(proposer))
+}
+
+func (c *Cluster) newInstance(slot uint64, oracle omega.Oracle) (*Instance, error) {
 	inst := &Instance{
 		Slot:    slot,
 		cluster: c,
@@ -55,22 +87,23 @@ func (c *Cluster) NewInstance(slot uint64) (*Instance, error) {
 	case ProtocolProtectedMemoryPaxos:
 		// Lay the slot's region out on every memory. EnsureRegion is
 		// idempotent, so concurrent instance creation for the same slot (for
-		// example two sharded-log clients racing) is safe: the permission of
-		// an existing region is never reset.
+		// example two sharded-log clients racing, or a recovery instance
+		// rebuilt over a region the original attempt already wrote) is safe:
+		// the permission and contents of an existing region are never reset.
 		spec := pmpaxos.InstanceLayout(slot, c.Procs, c.Opts.Leader)
 		for _, mem := range c.Pool.Memories() {
 			mem.EnsureRegion(spec)
 		}
 		build = func(p types.ProcID) (SlotProposer, func(), error) {
-			return c.buildPMPaxosSlot(slot, p)
+			return c.buildPMPaxosSlot(slot, p, oracle)
 		}
 	case ProtocolPaxos:
 		build = func(p types.ProcID) (SlotProposer, func(), error) {
-			return c.buildPaxosSlot(slot, p)
+			return c.buildPaxosSlot(slot, p, oracle)
 		}
 	case ProtocolFastPaxos:
 		build = func(p types.ProcID) (SlotProposer, func(), error) {
-			return c.buildFastPaxosSlot(slot, p)
+			return c.buildFastPaxosSlot(slot, p, oracle)
 		}
 	default:
 		return nil, fmt.Errorf("%w: protocol %s does not support slot multiplexing (use %s, %s or %s)",
@@ -87,6 +120,7 @@ func (c *Cluster) NewInstance(slot uint64) (*Instance, error) {
 			inst.cleanups = append(inst.cleanups, cleanup)
 		}
 	}
+	c.instanceOpened(inst)
 	return inst, nil
 }
 
@@ -95,12 +129,14 @@ func (i *Instance) Proposer(p types.ProcID) SlotProposer { return i.handles[p] }
 
 // Close stops the instance's nodes and removes its router subscriptions. The
 // decided value, if any, stays recorded in the shared memories; Close only
-// releases the live resources (goroutines, subscriptions).
+// releases the live resources (goroutines, subscriptions). Close is
+// idempotent.
 func (i *Instance) Close() {
 	for j := len(i.cleanups) - 1; j >= 0; j-- {
 		i.cleanups[j]()
 	}
 	i.cleanups = nil
+	i.cluster.instanceClosed(i)
 }
 
 // ReleaseInstance releases the durable per-slot resources of consensus
@@ -138,7 +174,7 @@ func (h *pmPaxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, erro
 	return h.node.WaitDecision(ctx)
 }
 
-func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID, oracle omega.Oracle) (SlotProposer, func(), error) {
 	router := c.router(p)
 	decideKind := pmpaxos.DecideKindFor(slot)
 	sub := router.Subscribe(decideKind, 0)
@@ -148,7 +184,7 @@ func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, f
 		InitialLeader:  c.Opts.Leader,
 		FaultyMemories: c.Opts.FaultyMemories,
 		Memories:       c.Pool.Memories(),
-		Oracle:         c.Oracle,
+		Oracle:         oracle,
 		Endpoint:       c.Network.Register(p),
 		DecideSub:      sub,
 		Region:         pmpaxos.RegionFor(slot),
@@ -180,7 +216,7 @@ func (h *paxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, error)
 // trailing path segment keeps slot prefixes unambiguous on the router.
 func paxosSlotKind(slot uint64) string { return fmt.Sprintf("paxos/slot/%d/msg", slot) }
 
-func (c *Cluster) buildPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+func (c *Cluster) buildPaxosSlot(slot uint64, p types.ProcID, oracle omega.Oracle) (SlotProposer, func(), error) {
 	router := c.router(p)
 	kind := paxosSlotKind(slot)
 	sub := router.Subscribe(kind, 0)
@@ -188,7 +224,7 @@ func (c *Cluster) buildPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, fun
 	node := paxos.NewNode(paxos.Config{
 		Self:         p,
 		Procs:        c.Procs,
-		Oracle:       c.Oracle,
+		Oracle:       oracle,
 		RoundTimeout: c.Opts.RoundTimeout,
 		Recorder:     c.Opts.Recorder,
 	}, tr)
@@ -212,7 +248,7 @@ func (h *fastPaxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, er
 // fastPaxosSlotPrefix is the kind prefix of Fast Paxos instance slot.
 func fastPaxosSlotPrefix(slot uint64) string { return fmt.Sprintf("fastpaxos/slot/%d/", slot) }
 
-func (c *Cluster) buildFastPaxosSlot(slot uint64, p types.ProcID) (SlotProposer, func(), error) {
+func (c *Cluster) buildFastPaxosSlot(slot uint64, p types.ProcID, oracle omega.Oracle) (SlotProposer, func(), error) {
 	router := c.router(p)
 	prefix := fastPaxosSlotPrefix(slot)
 	fastSub := router.Subscribe(prefix, 0)
@@ -228,7 +264,7 @@ func (c *Cluster) buildFastPaxosSlot(slot uint64, p types.ProcID) (SlotProposer,
 		Endpoint:        c.Network.Register(p),
 		FastSub:         fastSub,
 		ClassicSub:      classicSub,
-		Oracle:          c.Oracle,
+		Oracle:          oracle,
 		KindPrefix:      prefix,
 		FastTimeout:     c.Opts.FastTimeout,
 		Recorder:        c.Opts.Recorder,

@@ -163,6 +163,22 @@ func (m *Memory) Crashed() bool {
 	return m.crashed
 }
 
+// Revive brings a crashed memory back: operations issued after Revive behave
+// normally again, and every region keeps the contents and permissions it had
+// when the crash hit (the crash stalls the memory, it does not wipe it).
+// Operations that were already blocked on the crashed memory stay blocked
+// until their own context ends — the crash consumed them, exactly like a
+// request lost inside a rebooting NIC. Reviving a live memory is a no-op.
+//
+// Revive models transient stalls (a switch reboot, a zombie interval): the
+// replicated-log recovery path needs the fabric to come back so a slot whose
+// outcome became ambiguous during the stall can be re-read.
+func (m *Memory) Revive() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+}
+
 // AddRegion creates a new region at run time. It is used by tests and by
 // protocols that lay out per-instance regions lazily. Adding a region that
 // already exists replaces its permission and register set.
@@ -362,6 +378,19 @@ func (p *Pool) Memory(id types.MemID) *Memory {
 		return nil
 	}
 	return p.mems[idx]
+}
+
+// Revive revives every crashed memory in the pool (see Memory.Revive) and
+// returns the identifiers that were in fact crashed.
+func (p *Pool) Revive() []types.MemID {
+	revived := make([]types.MemID, 0, len(p.mems))
+	for _, m := range p.mems {
+		if m.Crashed() {
+			m.Revive()
+			revived = append(revived, m.ID())
+		}
+	}
+	return revived
 }
 
 // CrashQuorumSafe crashes up to n memories chosen in identifier order. It is

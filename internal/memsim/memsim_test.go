@@ -438,3 +438,48 @@ func TestPoolReleaseRegionSurvivesCrashes(t *testing.T) {
 		t.Fatalf("second pool ReleaseRegion released %d, want 0", released)
 	}
 }
+
+func TestReviveRestoresServiceAndPreservesContents(t *testing.T) {
+	m := newTestMemory(nil)
+	ctx := context.Background()
+	if _, err := m.Write(ctx, 1, regionA, regX, types.Value("before-crash"), 0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m.Crash()
+
+	// An operation issued during the crash blocks until its context ends —
+	// and stays consumed: reviving must not complete it retroactively.
+	opCtx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := m.Read(opCtx, 2, regionA, regX, 0); !errors.Is(err, types.ErrMemoryCrashed) {
+		t.Fatalf("Read during crash: err = %v, want ErrMemoryCrashed", err)
+	}
+
+	m.Revive()
+	if m.Crashed() {
+		t.Fatalf("Crashed() = true after Revive")
+	}
+	v, _, err := m.Read(ctx, 2, regionA, regX, 0)
+	if err != nil {
+		t.Fatalf("Read after Revive: %v", err)
+	}
+	if string(v) != "before-crash" {
+		t.Fatalf("Read after Revive = %q, want contents preserved across the stall", v)
+	}
+	m.Revive() // reviving a live memory is a no-op
+}
+
+func TestPoolReviveReportsCrashedSubset(t *testing.T) {
+	layout := func(types.MemID) []RegionSpec {
+		return []RegionSpec{{ID: regionA, Registers: []types.RegisterID{regX}, Perm: OpenPermission([]types.ProcID{1})}}
+	}
+	p := NewPool(3, layout, Options{})
+	p.CrashQuorumSafe(2)
+	revived := p.Revive()
+	if len(revived) != 2 {
+		t.Fatalf("Revive() revived %v, want the 2 crashed memories", revived)
+	}
+	if len(p.Revive()) != 0 {
+		t.Fatalf("second Revive() revived memories on a healthy pool")
+	}
+}

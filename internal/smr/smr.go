@@ -16,6 +16,18 @@
 // Batches preserve arrival order, which gives per-client FIFO: a client that
 // submits its commands in order observes them committed in order.
 //
+// Slot agreement is pipelined: up to Options.Pipeline batches run their slots
+// concurrently, each on its own consensus instance, so log throughput is
+// bounded by the memory fabric rather than by sequential slot latency. A
+// reorder buffer applies decided slots to the StateMachine strictly in slot
+// order, so commit order stays gap-free and every prefix-derived artifact
+// (responses, read indexes, snapshots, slot GC) is keyed to the contiguous
+// applied prefix. A slot whose agreement times out mid-flight — an ambiguous
+// outcome: its value may or may not be durable — no longer halts the group:
+// a recovery round re-proposes a no-op into the slot from another replica to
+// learn its decided fate, and a displaced batch is retried at a later slot,
+// exactly once (see Stats).
+//
 // The application side is the classic RSM contract (StateMachine): Propose
 // replicates a command and returns the machine's response for it, Read serves
 // linearizable queries via a read-index barrier (a no-op slot commit), and
@@ -67,7 +79,20 @@ type Options struct {
 	// MaxBatch bounds how many queued commands are agreed as one slot value.
 	// Zero means 64.
 	MaxBatch int
-	// SlotTimeout bounds the agreement of one slot. Zero means 30s.
+	// Pipeline is the maximum number of slots the committer keeps in flight
+	// concurrently. Each in-flight slot runs on its own consensus instance
+	// over the shared cluster, so slot agreement latency overlaps instead of
+	// serializing; a reorder buffer still applies decided slots to the
+	// StateMachine strictly in slot order, so commit order stays gap-free
+	// and responses, read barriers, snapshots and slot GC are all keyed to
+	// the contiguous applied prefix. Zero means 4; 1 (or negative) disables
+	// pipelining and commits one slot at a time.
+	Pipeline int
+	// SlotTimeout bounds the agreement of one slot. A slot that times out
+	// mid-agreement has an ambiguous outcome (its value may or may not be
+	// durable); the committer then runs a recovery round — re-proposing a
+	// no-op into the slot from another replica to learn its fate — instead
+	// of halting the group. Zero means 30s.
 	SlotTimeout time.Duration
 	// ReplicaCatchUp bounds how long the committer waits for non-proposing
 	// replicas to learn an already-made decision before moving to the next
@@ -97,6 +122,12 @@ func (o *Options) applyDefaults() {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
+	}
+	if o.Pipeline == 0 {
+		o.Pipeline = 4
+	}
+	if o.Pipeline < 1 {
+		o.Pipeline = 1
 	}
 	if o.SlotTimeout <= 0 {
 		o.SlotTimeout = 30 * time.Second
@@ -153,6 +184,23 @@ func decodeBatch(raw types.Value) (wireBatch, error) {
 		return wireBatch{}, fmt.Errorf("decode batch: %d ids for %d commands", len(b.IDs), len(b.Cmds))
 	}
 	return b, nil
+}
+
+// Stats are per-group counters of the committer's ambiguous-slot recovery
+// activity, exposed via Log.Stats.
+type Stats struct {
+	// Recovered counts slots whose agreement attempt timed out mid-slot and
+	// whose fate was then learned by a recovery round instead of halting the
+	// group: the recovery proposer re-runs the slot with a no-op, which
+	// either adopts the original batch (it was durable) or decides the no-op
+	// (it was not), and in the latter case the displaced batch is retried at
+	// a later slot.
+	Recovered uint64
+	// Refused counts the subset of recovered slots whose no-op was refused:
+	// the recovery round found the original batch persisted in the slot's
+	// substrate and re-decided it, so the waiting commands resolved at the
+	// recovered slot itself and nothing was displaced.
+	Refused uint64
 }
 
 // queued is one command — or one read barrier — waiting for a slot.
@@ -213,8 +261,9 @@ type Log struct {
 	snapCount    int
 	replicas     map[types.ProcID]*replicaView
 	lagging      map[types.ProcID]bool // replicas that missed a catch-up window
+	stats        Stats                 // recovery counters
 	closed       bool
-	failure      error      // set when the committer halts on an ambiguous slot
+	failure      error      // set when the committer halts on an unrecoverable slot
 	applied      *sync.Cond // on mu: broadcast when a view advances, or on close/halt
 
 	notify chan struct{}
@@ -520,6 +569,13 @@ func (l *Log) Snapshot() (data []byte, lastIndex uint64, ok bool) {
 	return append([]byte(nil), l.snap.data...), l.snap.lastIndex, true
 }
 
+// Stats returns the group's ambiguous-slot recovery counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
 // Snapshots returns how many snapshots the committer has taken.
 func (l *Log) Snapshots() int {
 	l.mu.Lock()
@@ -604,48 +660,188 @@ func (l *Log) ReplicaLog(p types.ProcID) ([][]byte, bool) {
 	return out, true
 }
 
-// commitLoop is the committer: it drains the queue into batches and agrees on
-// one batch per slot.
+// slotOutcome is one pipeline worker's report: the slot it drove, the value
+// the slot decided (possibly learned by a recovery round), and the batch that
+// was proposed there. A non-nil err is unrecoverable and halts the group.
+type slotOutcome struct {
+	slot    uint64
+	decided types.Value
+	batch   []queued
+	err     error
+}
+
+// commitLoop is the committer's dispatcher: it drains the queue into batches,
+// keeps up to Options.Pipeline slots in flight — each driven end to end by
+// its own worker goroutine over its own consensus instance — and applies the
+// decided slots to the state machine strictly in slot order through a reorder
+// buffer. Commit order therefore stays gap-free even when slot agreements
+// complete out of order, and every prefix-derived artifact (Propose
+// responses, read barriers, snapshots, slot GC) is keyed to the contiguous
+// applied prefix, never to the highest decided slot.
 func (l *Log) commitLoop(ctx context.Context) {
 	defer l.wg.Done()
+	depth := l.opts.Pipeline
+	workerCtx, cancelWorkers := context.WithCancel(ctx)
+	defer cancelWorkers()
+	// Each worker sends exactly one outcome and at most depth are in flight,
+	// so the buffer guarantees workers never block on a departing dispatcher.
+	results := make(chan slotOutcome, depth)
+	reorder := make(map[uint64]slotOutcome) // decided out of order, awaiting their turn
+	var retry [][]queued                    // displaced batches, re-dispatched before new work
+	nextSlot := uint64(0)                   // next slot to hand to a worker
+	nextApply := uint64(0)                  // next slot to apply (== firstSlot + len(slots))
+	inflight := 0
+
+	// terminate ends the committer: on Close it is a clean shutdown and the
+	// abandoned batches' waiters get ErrClosed, per Close's contract; on any
+	// other cause the group halts permanently with ErrHalted wrapping it.
+	// Every in-flight worker is cancelled and drained first, and the
+	// decided slots that are contiguous with the applied prefix are still
+	// committed on the way out: their values are durable and the replica
+	// learner views have already observed them (recordReplica runs in the
+	// workers), so discarding them would fork StaleRead/ReplicaLog from the
+	// authoritative log and tell a durably-committed command's waiter it
+	// never committed. Only then is everything beyond the failed slot's gap
+	// — decided-but-unappliable, displaced, still queued — told exactly
+	// once.
+	terminate := func(cause error, last []queued) {
+		cancelWorkers()
+		failed := [][]queued{last}
+		for inflight > 0 {
+			res := <-results
+			inflight--
+			if res.err != nil {
+				failed = append(failed, res.batch)
+			} else {
+				reorder[res.slot] = res
+			}
+		}
+		for {
+			r, ok := reorder[nextApply]
+			if !ok {
+				break
+			}
+			delete(reorder, nextApply)
+			won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.batch))
+			if err != nil {
+				failed = append(failed, r.batch)
+				break
+			}
+			nextApply++
+			if won {
+				l.resolveBarriers(barriersOf(r.batch))
+			} else if len(r.batch) > 0 {
+				retry = append(retry, r.batch)
+			}
+			l.maybeSnapshot()
+		}
+		for _, res := range reorder {
+			failed = append(failed, res.batch)
+		}
+		failed = append(failed, retry...)
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		wrapped := fmt.Errorf("%w before command committed", ErrClosed)
+		if !closed {
+			wrapped = fmt.Errorf("%w: %w", ErrHalted, cause)
+		}
+		for _, batch := range failed {
+			for _, q := range batch {
+				q.done <- proposeResult{err: wrapped}
+			}
+		}
+		l.halt(cause)
+	}
+
 	for {
-		batch := l.takeBatch()
-		if batch == nil {
+		// Fill the pipeline: displaced batches first (their commands are the
+		// oldest), then fresh batches from the queue.
+		for inflight < depth {
+			var batch []queued
+			if len(retry) > 0 {
+				batch = retry[0]
+				retry = retry[1:]
+			} else if batch = l.takeBatch(); batch == nil {
+				break
+			}
+			slot := nextSlot
+			nextSlot++
+			inflight++
+			go l.driveSlot(workerCtx, slot, batch, results)
+		}
+
+		if inflight == 0 {
 			select {
 			case <-ctx.Done():
-				l.fail(ctx.Err())
+				terminate(ctx.Err(), nil)
 				return
 			case <-l.notify:
 				continue
 			}
 		}
-		if err := l.commitBatch(ctx, batch); err != nil {
-			// A batch abandoned because Close cancelled the committer is a
-			// clean shutdown, not a group failure: its waiters get ErrClosed,
-			// per Close's contract. Any other failure leaves the slot's
-			// outcome ambiguous: the batch's value may already be durable in
-			// the slot's region (a phase-2 write can reach a quorum before
-			// the timeout fires), in which case a retry at the same slot
-			// would re-decide the old batch under a new batch's name. The
-			// log can neither retry the slot with a different batch nor skip
-			// it without risking a gap, so the group halts; recovery
-			// (re-reading the slot to learn its fate) is a ROADMAP follow-up.
-			l.mu.Lock()
-			closed := l.closed
-			l.mu.Unlock()
-			wrapped := fmt.Errorf("%w before command committed", ErrClosed)
-			if !closed {
-				wrapped = fmt.Errorf("%w: %w", ErrHalted, err)
-			}
-			for _, q := range batch {
-				q.done <- proposeResult{err: wrapped}
-			}
-			if !closed {
-				l.fail(err)
-			}
+
+		select {
+		case <-ctx.Done():
+			terminate(ctx.Err(), nil)
 			return
+		case <-l.notify:
+			continue // fill the remaining pipeline slots
+		case res := <-results:
+			inflight--
+			if res.err != nil {
+				terminate(res.err, res.batch)
+				return
+			}
+			reorder[res.slot] = res
+			// Apply the contiguous decided prefix in slot order; slots
+			// decided ahead of a still-running predecessor wait in the
+			// buffer.
+			for {
+				r, ok := reorder[nextApply]
+				if !ok {
+					break
+				}
+				delete(reorder, nextApply)
+				won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.batch))
+				if err != nil {
+					terminate(err, r.batch)
+					return
+				}
+				nextApply++
+				if won {
+					l.resolveBarriers(barriersOf(r.batch))
+				} else if len(r.batch) > 0 {
+					// A foreign batch — or a recovery no-op — occupied the
+					// slot; ours is re-dispatched at a later one.
+					retry = append(retry, r.batch)
+				}
+				l.maybeSnapshot()
+			}
 		}
 	}
+}
+
+// commandsOf and barriersOf split a batch into its command waiters and its
+// read barriers.
+func commandsOf(batch []queued) []queued {
+	cmds := make([]queued, 0, len(batch))
+	for _, q := range batch {
+		if !q.barrier {
+			cmds = append(cmds, q)
+		}
+	}
+	return cmds
+}
+
+func barriersOf(batch []queued) []queued {
+	var barriers []queued
+	for _, q := range batch {
+		if q.barrier {
+			barriers = append(barriers, q)
+		}
+	}
+	return barriers
 }
 
 // takeBatch removes up to MaxBatch commands from the queue, along with every
@@ -675,12 +871,12 @@ func (l *Log) takeBatch() []queued {
 	return batch
 }
 
-// fail permanently halts the log: the cause is recorded (subsequent Propose
+// halt permanently halts the log: the cause is recorded (subsequent Propose
 // and Read calls return ErrHalted immediately) and every queued command is
 // told. Setting failure and draining the queue happen in one critical
 // section, so a submission either enqueues before the drain (and is drained)
 // or observes the failure.
-func (l *Log) fail(cause error) {
+func (l *Log) halt(cause error) {
 	l.mu.Lock()
 	if l.failure == nil {
 		l.failure = cause
@@ -698,53 +894,148 @@ func (l *Log) fail(cause error) {
 	}
 }
 
-// commitBatch agrees on the batch's commands in the next slot and resolves
-// its read barriers once a slot of ours commits. If a competing proposer's
-// batch wins the slot instead, the foreign batch is committed at this slot
-// and ours is retried at the next one, preserving its internal order (the
-// barriers, too, wait for our own slot: only then is the read index known to
-// cover every command decided before it).
-func (l *Log) commitBatch(ctx context.Context, batch []queued) error {
-	var cmds, barriers []queued
-	for _, q := range batch {
-		if q.barrier {
-			barriers = append(barriers, q)
-		} else {
-			cmds = append(cmds, q)
+// driveSlot is one pipeline worker: it owns slot end to end — agree on the
+// batch's commands there, learn the slot's fate through a recovery round if
+// the attempt's outcome turns ambiguous, wait for the replica learners — and
+// reports exactly one outcome to the dispatcher. If a competing proposer's
+// batch (or a recovery no-op) wins the slot, the dispatcher commits the
+// winner at this slot and re-dispatches ours at a later one, preserving its
+// internal order; the batch's read barriers, too, wait for our own slot, as
+// only then is the read index known to cover every command decided before
+// it.
+func (l *Log) driveSlot(ctx context.Context, slot uint64, batch []queued, results chan<- slotOutcome) {
+	decided, err := l.commitSlot(ctx, slot, batch)
+	results <- slotOutcome{slot: slot, decided: decided, batch: batch, err: err}
+}
+
+func (l *Log) commitSlot(ctx context.Context, slot uint64, batch []queued) (types.Value, error) {
+	cmds := commandsOf(batch)
+	proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(cmds)), Cmds: make([][]byte, 0, len(cmds))}
+	for _, q := range cmds {
+		proposal.IDs = append(proposal.IDs, q.id)
+		proposal.Cmds = append(proposal.Cmds, q.cmd)
+	}
+	blob, err := proposal.encode()
+	if err != nil {
+		return nil, err
+	}
+
+	inst, err := l.cluster.NewInstance(slot)
+	if err != nil {
+		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
+	}
+	decided, err := l.runSlot(ctx, inst, l.cluster.Leader(), blob)
+	inst.Close()
+	if err == nil {
+		return decided, nil
+	}
+	if ctx.Err() != nil {
+		// Cancelled by Close or by another slot's halt — a shutdown, not an
+		// ambiguous outcome; the dispatcher owns the waiters.
+		return nil, err
+	}
+	// The slot timed out mid-agreement, so its outcome is ambiguous: the
+	// batch may already be durable in the slot's substrate (a phase-2 write
+	// can reach a quorum before the timeout fires), in which case retrying a
+	// different value at the same slot could re-decide the old batch under a
+	// new batch's name, and skipping the slot would commit a gap. Run a
+	// recovery round to learn the slot's true fate instead of halting the
+	// group.
+	decided, rerr := l.recoverSlot(ctx, slot, blob)
+	if rerr != nil {
+		return nil, fmt.Errorf("smr slot %d: ambiguous outcome (%v) and recovery failed: %w", slot, err, rerr)
+	}
+	return decided, nil
+}
+
+// recoveryAttempts bounds how many recovery rounds a worker runs for one
+// ambiguous slot before giving up and halting the group. Each round pays at
+// most one SlotTimeout, so a transient stall (a rebooting memory, a brief
+// partition) that outlives the original attempt still resolves, while a
+// permanent fault halts after a bounded delay.
+const recoveryAttempts = 3
+
+// recoverSlot learns the fate of a slot whose agreement attempt timed out.
+// It re-runs the slot from a recovery proposer — a replica other than the
+// regular leader — with a no-op value: the protocol's phase-1 adoption then
+// yields the original batch if it persisted in the slot's state (the no-op
+// is refused), and decides the no-op otherwise, proving the original batch
+// lost the slot so the dispatcher can retry it later without double-commit
+// risk.
+//
+// How much of the original attempt the recovery round can see is
+// per-backend. Protected Memory Paxos keeps the slot's state in the shared
+// memories, which the recovery instance reuses: a persisted original batch
+// IS adopted, and the recovery proposer's permission acquisition fences any
+// still-in-flight write of the original attempt. The message-passing
+// backends (Paxos, Fast Paxos) keep acceptor state inside the instance's
+// nodes, which closing the failed instance discards — their recovery always
+// decides the no-op and displaces the batch, never the refused fate. That
+// is still exactly-once safe for every backend: a failed Propose never
+// broadcast a decision (the protocols decide before disseminating), so no
+// learner view can have observed the original attempt, and whatever the
+// recovery round decides is the slot's first observable outcome.
+//
+// On a single-process group there is no other replica to propose from, so
+// the original batch itself is re-proposed: re-deciding the identical value
+// is always safe, and a success resolves the ambiguity just as well.
+func (l *Log) recoverSlot(ctx context.Context, slot uint64, originalBlob types.Value) (types.Value, error) {
+	proposer := l.recoveryProposer()
+	blob, noop := originalBlob, false
+	if proposer != l.cluster.Leader() {
+		var err error
+		if blob, err = (wireBatch{}).encode(); err != nil {
+			return nil, err
+		}
+		noop = true
+	}
+	var lastErr error
+	for attempt := 0; attempt < recoveryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inst, err := l.cluster.NewRecoveryInstance(slot, proposer)
+		if err != nil {
+			return nil, err
+		}
+		decided, err := l.runSlot(ctx, inst, proposer, blob)
+		inst.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		l.noteRecovery(decided, noop)
+		return decided, nil
+	}
+	return nil, lastErr
+}
+
+// recoveryProposer picks the process that re-runs an ambiguous slot: the
+// first replica that is not the regular leader, so its proposal runs the
+// full first phase (adopting any durable value) instead of the leader's
+// skip-phase-1 fast path. A single-process group falls back to the leader.
+func (l *Log) recoveryProposer() types.ProcID {
+	leader := l.cluster.Leader()
+	for _, p := range l.cluster.Procs {
+		if p != leader {
+			return p
 		}
 	}
-	for {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("smr commit: %w", err)
-		}
-		proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(cmds)), Cmds: make([][]byte, 0, len(cmds))}
-		for _, q := range cmds {
-			proposal.IDs = append(proposal.IDs, q.id)
-			proposal.Cmds = append(proposal.Cmds, q.cmd)
-		}
-		blob, err := proposal.encode()
-		if err != nil {
-			return err
-		}
+	return leader
+}
 
-		l.mu.Lock()
-		slot := l.firstSlot + uint64(len(l.slots))
-		l.mu.Unlock()
-
-		decided, err := l.runSlot(ctx, slot, blob)
-		if err != nil {
-			return err
-		}
-		won, err := l.recordSlot(slot, decided, cmds)
-		if err != nil {
-			return err
-		}
-		l.maybeSnapshot()
-		if won {
-			l.resolveBarriers(barriers)
-			return nil
-		}
-		// A foreign batch occupied the slot; retry ours at the next slot.
+// noteRecovery bumps the recovery counters: every recovered slot counts, and
+// a no-op that lost to the (durable) original batch additionally counts as
+// refused.
+func (l *Log) noteRecovery(decided types.Value, noop bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Recovered++
+	if !noop {
+		return // same-value re-propose: the fate was forced, not read
+	}
+	if b, err := decodeBatch(decided); err == nil && b.Origin == l.origin {
+		l.stats.Refused++
 	}
 }
 
@@ -775,38 +1066,36 @@ func (l *Log) resolveBarriers(barriers []queued) {
 }
 
 // runSlot drives one consensus instance over the long-lived cluster: the
-// leader process proposes, every other process learns, and the instance's
-// live resources are released before returning.
-func (l *Log) runSlot(ctx context.Context, slot uint64, blob types.Value) (types.Value, error) {
+// given process proposes (the cluster leader on the regular path, another
+// replica on the recovery path) and every other process learns. The caller
+// owns the instance's lifecycle.
+func (l *Log) runSlot(ctx context.Context, inst *core.Instance, proposer types.ProcID, blob types.Value) (types.Value, error) {
 	slotCtx, cancel := context.WithTimeout(ctx, l.opts.SlotTimeout)
 	defer cancel()
 
-	inst, err := l.cluster.NewInstance(slot)
+	res, err := inst.Proposer(proposer).Propose(slotCtx, blob)
 	if err != nil {
-		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
+		return nil, fmt.Errorf("smr slot %d: %w", inst.Slot, err)
 	}
-	defer inst.Close()
+	l.recordReplica(proposer, inst.Slot, res.Value)
+	l.awaitLearners(ctx, inst, proposer)
+	return res.Value, nil
+}
 
-	leader := l.cluster.Leader()
-	res, err := inst.Proposer(leader).Propose(slotCtx, blob)
-	if err != nil {
-		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
-	}
-	l.recordReplica(leader, slot, res.Value)
-
-	// Wait — in parallel, under one shared budget — for the remaining
-	// replicas to learn the decision, so every replica's log advances in
-	// lock step. A replica that misses its window (for example a crashed
-	// process) is marked lagging and never waited for again: otherwise a
-	// single crashed replica — the very fault the protocols tolerate —
-	// would cost the full catch-up timeout on EVERY subsequent slot.
-	// Lagging replicas show the gap in ReplicaLog and catch up off the hot
-	// path — from the next snapshot once their missed slots are truncated.
-	catchUp, cancelCatchUp := context.WithTimeout(ctx, l.opts.ReplicaCatchUp)
-	defer cancelCatchUp()
+// awaitLearners waits — in parallel, under one shared budget — for the
+// non-proposing replicas to learn the slot's decision, so every replica's
+// log advances in near lock step. A replica that misses its window (for
+// example a crashed process) is marked lagging and never waited for again:
+// otherwise a single crashed replica — the very fault the protocols tolerate
+// — would cost the full catch-up timeout on EVERY subsequent slot. Lagging
+// replicas show the gap in ReplicaLog and catch up off the hot path — from
+// the next snapshot once their missed slots are truncated.
+func (l *Log) awaitLearners(ctx context.Context, inst *core.Instance, proposer types.ProcID) {
+	catchUp, cancel := context.WithTimeout(ctx, l.opts.ReplicaCatchUp)
+	defer cancel()
 	var wg sync.WaitGroup
 	for _, p := range l.cluster.Procs {
-		if p == leader || l.isLagging(p) {
+		if p == proposer || l.isLagging(p) {
 			continue
 		}
 		wg.Add(1)
@@ -817,11 +1106,10 @@ func (l *Log) runSlot(ctx context.Context, slot uint64, blob types.Value) (types
 				l.markLagging(p)
 				return
 			}
-			l.recordReplica(p, slot, v)
+			l.recordReplica(p, inst.Slot, v)
 		}(p)
 	}
 	wg.Wait()
-	return res.Value, nil
 }
 
 func (l *Log) isLagging(p types.ProcID) bool {
@@ -932,15 +1220,20 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued) (bool,
 // waiting for its learner — a replica that is genuinely dead simply re-lags
 // after one catch-up window, costing at most one window per interval.
 //
-// Called only from the committer. The O(state) work — serializing the
-// authoritative machine, deserializing replacement machines for lagging
-// views, releasing the dead slots' regions — all runs OUTSIDE l.mu, so reads
-// and submissions proceed during it; the lock covers only the truncation
-// bookkeeping and the pointer swaps that install restored views. That is
-// safe because the committer is the sole writer of the authoritative machine
-// and of view progress outside runSlot (whose learner goroutines have
-// finished before recordSlot runs), and released regions are never read
-// again once truncation is decided.
+// Called only from the committer's dispatcher goroutine. The O(state) work —
+// serializing the authoritative machine, deserializing replacement machines
+// for lagging views, releasing the dead slots' regions — all runs OUTSIDE
+// l.mu, so reads and submissions proceed during it; the lock covers only the
+// truncation bookkeeping and the pointer swaps that install restored views.
+// That is safe because the dispatcher is the sole writer of the
+// authoritative machine, and the pipeline workers that advance view progress
+// concurrently (their learner goroutines record decisions of in-flight
+// slots) can never move a behind view across the truncation point: its next
+// slot's learned value was deleted by the truncation, workers only ever
+// record slots above the applied prefix, and both the deletion and the
+// restored-view swap happen under l.mu. Released regions are never read
+// again once truncation is decided — every released slot is below the
+// applied prefix, and in-flight slots are all above it.
 func (l *Log) maybeSnapshot() {
 	l.mu.Lock()
 	interval := l.opts.SnapshotInterval

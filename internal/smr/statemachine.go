@@ -9,9 +9,10 @@ var (
 	// ErrClosed is returned by every method invoked after Close. Close is
 	// idempotent; only operations started after it observe ErrClosed.
 	ErrClosed = errors.New("smr: log closed")
-	// ErrHalted is returned once the committer has halted on an ambiguous
-	// slot (the slot's outcome may or may not be durable). The halt is
-	// permanent for the group; the wrapped cause is preserved.
+	// ErrHalted is returned once the committer has halted on a slot it could
+	// not resolve: the slot's agreement timed out (its outcome may or may
+	// not be durable) and every recovery round failed to learn its fate too.
+	// The halt is permanent for the group; the wrapped cause is preserved.
 	ErrHalted = errors.New("smr: log halted")
 	// ErrNotQueryable is returned by Read, ReadFrom and StaleRead when the
 	// group's state machine does not implement Querier.
@@ -24,9 +25,12 @@ var (
 // views behind StaleRead), all built by the Options.NewSM factory.
 //
 // The log serializes every call — no two methods of one machine instance ever
-// run concurrently (most run under the log's lock; Snapshot and the Restore
-// of a replacement machine run on the committer goroutine, which is the only
-// other caller) — so implementations need no internal synchronization. They
+// run concurrently (Apply and Query run under the log's lock, which also
+// serializes the pipeline workers that drive replica views; Snapshot and the
+// Restore of a replacement machine run on the committer's dispatcher
+// goroutine, which is the only other caller and the sole driver of the
+// authoritative machine) — so implementations need no internal
+// synchronization. They
 // must not call back into the Log, and Apply must be deterministic: every
 // replica applies the identical entry sequence and must reach the identical
 // state.

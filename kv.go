@@ -207,5 +207,8 @@ func (kv *ShardedKV) Shards() []string { return kv.s.Shards() }
 // Len returns the total number of committed commands across all shards.
 func (kv *ShardedKV) Len() uint64 { return kv.s.Len() }
 
+// Stats sums the ambiguous-slot recovery counters across all shards.
+func (kv *ShardedKV) Stats() LogStats { return kv.s.Stats() }
+
 // Close shuts every shard's log down. Idempotent.
 func (kv *ShardedKV) Close() { kv.s.Close() }

@@ -6,9 +6,11 @@ import (
 )
 
 // Log is a replicated state-machine group: one long-lived cluster serving an
-// unbounded sequence of consensus instances (slots), with command batching, a
-// pluggable StateMachine, linearizable reads and snapshot-driven slot GC.
-// See package smr for the semantics.
+// unbounded sequence of consensus instances (slots), with command batching,
+// pipelined slot commit (LogOptions.Pipeline slots in flight, applied
+// gap-free in slot order), ambiguous-slot recovery, a pluggable
+// StateMachine, linearizable reads and snapshot-driven slot GC. See package
+// smr for the semantics.
 type Log = smr.Log
 
 // LogOptions configure a Log.
@@ -16,6 +18,13 @@ type LogOptions = smr.Options
 
 // LogEntry is one committed command of a Log.
 type LogEntry = smr.Entry
+
+// LogStats are a group's ambiguous-slot recovery counters (Log.Stats,
+// Sharded.Stats): Recovered counts slots whose timed-out agreement was
+// resolved by a no-op recovery round instead of halting the group, Refused
+// the subset where the no-op lost because the original batch had persisted
+// and was re-decided.
+type LogStats = smr.Stats
 
 // StateMachine is the pluggable application contract of a replicated log
 // group: Apply consumes committed entries and produces Propose responses,

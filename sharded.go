@@ -120,6 +120,19 @@ func (s *Sharded) ShardLog(name string) *smr.Log { return s.logs[name] }
 // Shards returns the shard names in stable order.
 func (s *Sharded) Shards() []string { return s.ring.Shards() }
 
+// Stats sums the ambiguous-slot recovery counters across all shards: how
+// many slots were recovered instead of halting a group, and how many of
+// those re-decided a persisted original batch.
+func (s *Sharded) Stats() LogStats {
+	var total LogStats
+	for _, l := range s.logs {
+		stats := l.Stats()
+		total.Recovered += stats.Recovered
+		total.Refused += stats.Refused
+	}
+	return total
+}
+
 // Len returns the total number of committed commands across all shards.
 func (s *Sharded) Len() uint64 {
 	var total uint64
