@@ -345,15 +345,17 @@ func BenchmarkShardedKV(b *testing.B) {
 	}
 }
 
-// BenchmarkLogRead measures the two read paths of a replicated state-machine
-// group: Read pays a read-index barrier (one no-op slot commit, or a ride on
-// a concurrent batch), StaleRead answers from the leader's local view with
-// no consensus round at all.
+// BenchmarkLogRead measures the three read paths of a replicated
+// state-machine group: Read without a lease pays a read-index barrier (one
+// no-op slot commit, or a ride on a concurrent batch); Read under a healthy
+// lease serves locally with the same linearizability guarantee and zero
+// slots; StaleRead answers from the leader's local view with no guarantee
+// and no consensus round at all.
 func BenchmarkLogRead(b *testing.B) {
-	newReadLog := func(b *testing.B) *Log {
+	newReadLog := func(b *testing.B, lease time.Duration) *Log {
 		b.Helper()
 		l, err := NewLog(LogOptions{
-			Cluster: Options{Processes: 3, Memories: 3},
+			Cluster: Options{Processes: 3, Memories: 3, LeaseDuration: lease},
 			NewSM:   func() StateMachine { return &counterMachine{} },
 		})
 		if err != nil {
@@ -367,7 +369,7 @@ func BenchmarkLogRead(b *testing.B) {
 		return l
 	}
 	b.Run("linearizable", func(b *testing.B) {
-		l := newReadLog(b)
+		l := newReadLog(b, 0)
 		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -376,8 +378,22 @@ func BenchmarkLogRead(b *testing.B) {
 			}
 		}
 	})
+	b.Run("lease", func(b *testing.B) {
+		l := newReadLog(b, 500*time.Millisecond)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Read(ctx, nil); err != nil {
+				b.Fatalf("Read: %v", err)
+			}
+		}
+		b.StopTimer()
+		if stats := l.Stats(); stats.BarrierReads > stats.LeaseReads {
+			b.Fatalf("lease bench mostly fell back to barriers: %d barrier vs %d lease reads", stats.BarrierReads, stats.LeaseReads)
+		}
+	})
 	b.Run("stale", func(b *testing.B) {
-		l := newReadLog(b)
+		l := newReadLog(b, 0)
 		leader := l.Cluster().Leader()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

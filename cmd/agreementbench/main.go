@@ -6,9 +6,13 @@
 // protocols: -shards switches to throughput mode, which drives a sharded
 // key-value store over long-lived consensus groups and reports aggregate
 // appends/sec plus append latency percentiles; -pipeline sets the per-group
-// slot pipeline depth, and -json writes the run's results as a
+// slot pipeline depth, -lease enables leader leases (linearizable reads then
+// serve locally while the lease is healthy, counted as lease vs barrier
+// reads), -failover stalls a lease holder after the workload and reports the
+// measured failover time, and -json writes the run's results as a
 // machine-readable record for CI. -compare gates two such records against
-// each other (the bench-smoke CI job uses it to fail on regressions).
+// each other on appends/sec or, with -metric reads, on linearizable reads/sec
+// (the bench-smoke CI job uses both to fail on regressions).
 //
 // Usage:
 //
@@ -18,8 +22,11 @@
 //	agreementbench -shards 4 -batch 8 -ops 2000 -clients 64 -latency 1ms
 //	agreementbench -shards 2 -snap-interval 64   # snapshot-driven slot GC: report live regions
 //	agreementbench -shards 2 -reads 200          # read-index (linearizable) read latency
+//	agreementbench -shards 2 -reads 200 -lease 250ms   # lease-served linearizable reads
+//	agreementbench -shards 1 -lease 250ms -failover    # measured lease failover time
 //	agreementbench -shards 1 -pipeline 4 -json out.json   # pipelined commit, JSON record
-//	agreementbench -compare base.json new.json   # exit 3 unless new is faster than base
+//	agreementbench -compare base.json new.json   # exit 3 unless new appends faster than base
+//	agreementbench -compare -metric reads barrier.json lease.json   # gate on reads/sec
 //
 // Diagnostics and usage go to stderr; only results go to stdout. Exit codes
 // are distinct so CI can tell failure modes apart:
@@ -67,9 +74,12 @@ func run() int {
 	reads := flag.Int("reads", 0, "throughput mode: linearizable (read-index) reads to issue after the puts, reporting their latency")
 	snapInterval := flag.Int("snap-interval", 0, "throughput mode: per-group snapshot interval driving slot GC (0 = smr default, <0 disables)")
 	pipeline := flag.Int("pipeline", 0, "throughput mode: slots in flight per group (0 = smr default, 1 = serial commit)")
+	lease := flag.Duration("lease", 0, "throughput mode: leader lease duration per group (0 = leases disabled; linearizable reads then pay the read-index barrier)")
+	failover := flag.Bool("failover", false, "throughput mode: after the workload, stall one group's lease holder and report the measured failover time (requires -lease)")
 	jsonPath := flag.String("json", "", "throughput mode: also write the results as JSON to this file")
-	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new's appends/sec beat base's by -min-speedup")
-	minSpeedup := flag.Float64("min-speedup", 1.0, "compare mode: required appends/sec ratio new/base (1.0 = strictly faster)")
+	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new beats base on -metric by -min-speedup")
+	metric := flag.String("metric", "appends", "compare mode: which rate to gate on, 'appends' (appends/sec) or 'reads' (linearizable reads/sec)")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "compare mode: required rate ratio new/base (1.0 = strictly faster)")
 	flag.Parse()
 
 	if *compare {
@@ -78,10 +88,20 @@ func run() int {
 			flag.Usage()
 			return exitUsage
 		}
-		return runCompare(flag.Arg(0), flag.Arg(1), *minSpeedup)
+		if *metric != "appends" && *metric != "reads" {
+			fmt.Fprintf(os.Stderr, "agreementbench: unknown -metric %q (want 'appends' or 'reads')\n", *metric)
+			flag.Usage()
+			return exitUsage
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *metric, *minSpeedup)
 	}
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "agreementbench: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		return exitUsage
+	}
+	if *failover && *lease <= 0 {
+		fmt.Fprintln(os.Stderr, "agreementbench: -failover requires -lease (there is no lease to expire without one)")
 		flag.Usage()
 		return exitUsage
 	}
@@ -97,6 +117,8 @@ func run() int {
 			Reads:        *reads,
 			SnapInterval: *snapInterval,
 			Pipeline:     *pipeline,
+			Lease:        *lease,
+			Failover:     *failover,
 		}, *jsonPath)
 	} else {
 		err = runTables(*table)
@@ -146,6 +168,8 @@ type throughputConfig struct {
 	Reads        int           `json:"reads"`
 	SnapInterval int           `json:"snap_interval"`
 	Pipeline     int           `json:"pipeline"`
+	Lease        time.Duration `json:"lease_ns"`
+	Failover     bool          `json:"failover"`
 }
 
 // throughputResult is the machine-readable record -json writes and -compare
@@ -166,6 +190,15 @@ type throughputResult struct {
 	ReadsPerSec   float64          `json:"reads_per_sec,omitempty"`
 	ReadP50MS     float64          `json:"read_p50_ms,omitempty"`
 	ReadP99MS     float64          `json:"read_p99_ms,omitempty"`
+	LeaseReads    uint64           `json:"lease_reads"`
+	BarrierReads  uint64           `json:"barrier_reads"`
+	Epoch         uint64           `json:"lease_epoch,omitempty"`
+	Takeovers     uint64           `json:"lease_takeovers"`
+	// FailoverEpochMS is the span from stalling a lease holder to the
+	// successor's epoch being in force; FailoverCommitMS extends it to the
+	// first command committed under the new epoch.
+	FailoverEpochMS  float64 `json:"failover_epoch_ms,omitempty"`
+	FailoverCommitMS float64 `json:"failover_commit_ms,omitempty"`
 }
 
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
@@ -173,14 +206,22 @@ type throughputResult struct {
 // batching statistics, the snapshot/slot-GC footprint, pipeline/recovery
 // counters and (with -reads) linearizable read latency.
 func runThroughput(cfg throughputConfig, jsonPath string) error {
+	logOpts := rdmaagreement.LogOptions{
+		Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
+		MaxBatch:         cfg.Batch,
+		Pipeline:         cfg.Pipeline,
+		SnapshotInterval: cfg.SnapInterval,
+	}
+	if cfg.Failover {
+		// The first slot committed after a takeover waits one replica
+		// catch-up window for the dead leader's learner; bound it by the
+		// lease so the reported failover time measures the protocol, not a
+		// 5-second default.
+		logOpts.ReplicaCatchUp = 2 * cfg.Lease
+	}
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
 		Shards: cfg.Shards,
-		Log: rdmaagreement.LogOptions{
-			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency},
-			MaxBatch:         cfg.Batch,
-			Pipeline:         cfg.Pipeline,
-			SnapshotInterval: cfg.SnapInterval,
-		},
+		Log:    logOpts,
 	})
 	if err != nil {
 		return err
@@ -242,8 +283,8 @@ producer:
 		AppendP99MS:   millis(percentile(appendLat, 99)),
 	}
 
-	fmt.Printf("sharded-log throughput — %d groups, %d clients, batch ≤ %d, pipeline %s, memory latency %s\n",
-		cfg.Shards, cfg.Clients, cfg.Batch, pipelineLabel(cfg.Pipeline), cfg.Latency)
+	fmt.Printf("sharded-log throughput — %d groups, %d clients, batch ≤ %d, pipeline %s, memory latency %s, lease %s\n",
+		cfg.Shards, cfg.Clients, cfg.Batch, pipelineLabel(cfg.Pipeline), cfg.Latency, leaseLabel(cfg.Lease))
 	fmt.Printf("  committed %d puts in %s: %.0f appends/sec aggregate, latency p50 %s / p99 %s\n",
 		cfg.Ops, elapsed.Round(time.Millisecond), result.AppendsPerSec,
 		percentile(appendLat, 50).Round(time.Microsecond), percentile(appendLat, 99).Round(time.Microsecond))
@@ -309,6 +350,48 @@ producer:
 			percentile(readLat, 99).Round(time.Microsecond))
 	}
 
+	if cfg.Failover {
+		// Stall the first shard's lease holder and time the takeover: to the
+		// successor's epoch being in force, and to the first command
+		// committed under it (through a probe key owned by that shard).
+		name := kv.Shards()[0]
+		l := kv.ShardLog(name)
+		old := l.Cluster().LeaseHolder()
+		epochBefore := l.Cluster().LeaseEpoch()
+		probe := ""
+		for i := 0; ; i++ {
+			if key := fmt.Sprintf("failover-probe/%d", i); kv.Shard(key) == name {
+				probe = key
+				break
+			}
+		}
+		t0 := time.Now()
+		l.Cluster().CrashProcess(old)
+		for l.Cluster().LeaseEpoch() == epochBefore {
+			if ctx.Err() != nil {
+				return fmt.Errorf("failover: no takeover before the deadline")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		epochAt := time.Since(t0)
+		if _, _, err := kv.Put(ctx, probe, "takeover"); err != nil {
+			return fmt.Errorf("failover probe put: %w", err)
+		}
+		commitAt := time.Since(t0)
+		result.FailoverEpochMS = millis(epochAt)
+		result.FailoverCommitMS = millis(commitAt)
+		fmt.Printf("  failover: stalled %s's leader %s; epoch %d in force after %s, first commit under it after %s\n",
+			name, old, l.Cluster().LeaseEpoch(), epochAt.Round(time.Millisecond), commitAt.Round(time.Millisecond))
+	}
+
+	leaseStats := kv.Stats()
+	result.LeaseReads, result.BarrierReads = leaseStats.LeaseReads, leaseStats.BarrierReads
+	result.Epoch, result.Takeovers = leaseStats.Epoch, leaseStats.Takeovers
+	if cfg.Reads > 0 {
+		fmt.Printf("  read paths: %d lease-served (zero slots), %d barrier (read-index slot)\n",
+			leaseStats.LeaseReads, leaseStats.BarrierReads)
+	}
+
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(result, "", "  ")
 		if err != nil {
@@ -328,6 +411,13 @@ func pipelineLabel(pipeline int) string {
 	return fmt.Sprintf("%d", pipeline)
 }
 
+func leaseLabel(lease time.Duration) string {
+	if lease <= 0 {
+		return "off"
+	}
+	return lease.String()
+}
+
 // percentile returns the p-th percentile of sorted latencies (nearest-rank).
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
@@ -342,12 +432,14 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 
 func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// runCompare gates one throughput record against another: it exits with
-// exitRegression when the new record's appends/sec do not beat the base's by
-// minSpeedup. Runtime problems (unreadable files, zero rates) are exitRuntime
-// — a bench that failed to run is a different signal than a bench that ran
-// slower.
-func runCompare(basePath, newPath string, minSpeedup float64) int {
+// runCompare gates one throughput record against another on the chosen
+// metric — appends/sec, or linearizable reads/sec with -metric reads (how CI
+// asserts lease reads beat the read-index path). It exits with
+// exitRegression when the new record does not beat the base by minSpeedup.
+// Runtime problems (unreadable files, zero rates, records without the
+// metric) are exitRuntime — a bench that failed to run is a different signal
+// than a bench that ran slower.
+func runCompare(basePath, newPath, metric string, minSpeedup float64) int {
 	base, err := readResult(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
@@ -358,17 +450,25 @@ func runCompare(basePath, newPath string, minSpeedup float64) int {
 		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
 		return exitRuntime
 	}
-	if base.AppendsPerSec <= 0 || new_.AppendsPerSec <= 0 {
-		fmt.Fprintf(os.Stderr, "agreementbench: compare: non-positive appends/sec (base %.2f, new %.2f)\n",
-			base.AppendsPerSec, new_.AppendsPerSec)
+	baseRate, basePct := base.AppendsPerSec, base.AppendP99MS
+	newRate, newPct := new_.AppendsPerSec, new_.AppendP99MS
+	unit := "appends/sec"
+	if metric == "reads" {
+		baseRate, basePct = base.ReadsPerSec, base.ReadP99MS
+		newRate, newPct = new_.ReadsPerSec, new_.ReadP99MS
+		unit = "reads/sec"
+	}
+	if baseRate <= 0 || newRate <= 0 {
+		fmt.Fprintf(os.Stderr, "agreementbench: compare: non-positive %s (base %.2f, new %.2f) — was the metric recorded?\n",
+			unit, baseRate, newRate)
 		return exitRuntime
 	}
-	ratio := new_.AppendsPerSec / base.AppendsPerSec
-	fmt.Printf("compare: base %.0f appends/sec (p99 %.2fms) vs new %.0f appends/sec (p99 %.2fms): %.2fx (need > %.2fx)\n",
-		base.AppendsPerSec, base.AppendP99MS, new_.AppendsPerSec, new_.AppendP99MS, ratio, minSpeedup)
+	ratio := newRate / baseRate
+	fmt.Printf("compare: base %.0f %s (p99 %.2fms) vs new %.0f %s (p99 %.2fms): %.2fx (need > %.2fx)\n",
+		baseRate, unit, basePct, newRate, unit, newPct, ratio, minSpeedup)
 	if ratio <= minSpeedup {
-		fmt.Fprintf(os.Stderr, "agreementbench: regression: %s is not faster than %s (%.2fx <= %.2fx)\n",
-			newPath, basePath, ratio, minSpeedup)
+		fmt.Fprintf(os.Stderr, "agreementbench: regression: %s is not faster than %s on %s (%.2fx <= %.2fx)\n",
+			newPath, basePath, unit, ratio, minSpeedup)
 		return exitRegression
 	}
 	return exitOK

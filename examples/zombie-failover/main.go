@@ -1,60 +1,170 @@
 // Zombie failover: the scenario from §7 of the paper that motivates treating
-// processes and memories as separate failure domains. A "zombie server" is a
+// processes and memories as separate failure domains — a "zombie server" is a
 // machine whose CPU (process) is dead while its RDMA-accessible memory keeps
-// serving requests.
+// serving requests — demonstrated end to end on the replicated state-machine
+// layer with leader leases.
 //
-// Here the initial Protected Memory Paxos leader commits a value and then its
-// process crashes. Its memory — and the rest of the memory pool — stays up,
-// so a new leader steals the exclusive write permission, reads the surviving
-// slots and finishes with the same decision. No data is lost even though the
-// old leader never comes back.
+// A lease-enabled log group commits a workload through its leader, then
+// serves linearizable reads LOCALLY under the leader's lease — zero
+// consensus slots, same guarantee. The leader's process then stalls: its
+// heartbeats stop while its memory stays reachable. During the remaining
+// lease window the group keeps committing through the zombie's memory path
+// (exactly the behavior RDMA makes survivable); when the lease expires, a
+// follower takes over under a bumped epoch — the measured failover — and the
+// epoch fence plus the recovery rounds' phase-1 permission steal guarantee
+// that nothing the dead leader had in flight can decide under its old epoch,
+// while every acknowledged entry survives. Lease reads resume on the
+// survivor without interruption.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"rdmaagreement"
 )
 
+// registry is the example's StateMachine: a plain key-value map. Apply
+// executes "key=value" and responds with the previous value; Query answers a
+// key lookup.
+type registry struct{ state map[string]string }
+
+func newRegistry() rdmaagreement.StateMachine {
+	return &registry{state: make(map[string]string)}
+}
+
+func (r *registry) Apply(e rdmaagreement.LogEntry) ([]byte, error) {
+	key, value, ok := strings.Cut(string(e.Cmd), "=")
+	if !ok {
+		return nil, fmt.Errorf("registry: malformed command %q", e.Cmd)
+	}
+	prev := r.state[key]
+	r.state[key] = value
+	return []byte(prev), nil
+}
+
+func (r *registry) Query(query []byte) ([]byte, error) { return []byte(r.state[string(query)]), nil }
+
+func (r *registry) Snapshot() ([]byte, error) {
+	var b strings.Builder
+	for k, v := range r.state {
+		fmt.Fprintf(&b, "%s=%s\n", k, v)
+	}
+	return []byte(b.String()), nil
+}
+
+func (r *registry) Restore(snapshot []byte, _ uint64) error {
+	state := make(map[string]string)
+	for _, line := range strings.Split(string(snapshot), "\n") {
+		if key, value, ok := strings.Cut(line, "="); ok {
+			state[key] = value
+		}
+	}
+	r.state = state
+	return nil
+}
+
 func main() {
-	cluster, err := rdmaagreement.NewCluster(rdmaagreement.ProtocolProtectedMemoryPaxos, rdmaagreement.Options{
-		Processes: 3,
-		Memories:  3,
+	const leaseDuration = 150 * time.Millisecond
+	rlog, err := rdmaagreement.NewLog(rdmaagreement.LogOptions{
+		Cluster: rdmaagreement.Options{
+			Processes:     3,
+			Memories:      3,
+			LeaseDuration: leaseDuration,
+			MemoryLatency: 500 * time.Microsecond,
+		},
+		NewSM:          newRegistry,
+		Pipeline:       4,
+		ReplicaCatchUp: 250 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatalf("zombie-failover: %v", err)
 	}
-	defer cluster.Close()
+	defer rlog.Close()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 
-	// Step 1: the initial leader commits a value in two delays.
-	first, err := cluster.Proposer(1).Propose(ctx, rdmaagreement.Value("epoch-1:leader=node-1"))
+	// Step 1: commit a workload through the epoch-1 lease holder.
+	const keys = 20
+	for i := 0; i < keys; i++ {
+		if _, _, err := rlog.Propose(ctx, []byte(fmt.Sprintf("cfg/%d=epoch-1:%d", i, i))); err != nil {
+			log.Fatalf("zombie-failover: propose: %v", err)
+		}
+	}
+	leader := rlog.Cluster().LeaseHolder()
+	fmt.Printf("leader %s committed %d entries under epoch %d\n", leader, rlog.Len(), rlog.Cluster().LeaseEpoch())
+
+	// Step 2: linearizable reads under the healthy lease are local — zero
+	// consensus slots.
+	slotsBefore := rlog.Slots()
+	for i := 0; i < 50; i++ {
+		if _, err := rlog.Read(ctx, []byte(fmt.Sprintf("cfg/%d", i%keys))); err != nil {
+			log.Fatalf("zombie-failover: lease read: %v", err)
+		}
+	}
+	stats := rlog.Stats()
+	fmt.Printf("50 linearizable reads under the lease: %d lease-served, %d barrier, %d extra consensus slots\n",
+		stats.LeaseReads, stats.BarrierReads, rlog.Slots()-slotsBefore)
+
+	// Step 3: the leader's process dies while its memory stays reachable —
+	// the zombie-server failure mode. Its heartbeats stop; the lease clock
+	// is now ticking.
+	stall := time.Now()
+	rlog.Cluster().CrashProcess(leader)
+	fmt.Printf("leader process %s crashed; its memory remains reachable (zombie server)\n", leader)
+
+	// Step 4: automatic failover. Wait for the takeover epoch, then commit
+	// the first entry of the new reign; the span from stall to that commit
+	// is the measured failover time.
+	oldEpoch := rlog.Cluster().LeaseEpoch()
+	for rlog.Cluster().LeaseEpoch() == oldEpoch {
+		if ctx.Err() != nil {
+			log.Fatalf("zombie-failover: no takeover before the deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	takeover := time.Since(stall)
+	index, _, err := rlog.Propose(ctx, []byte("cfg/0=epoch-2:healed"))
 	if err != nil {
-		log.Fatalf("zombie-failover: initial propose: %v", err)
+		log.Fatalf("zombie-failover: post-takeover propose: %v", err)
 	}
-	fmt.Printf("leader p1 committed %s in %d delays\n", first.Value, first.DecisionDelays)
+	failover := time.Since(stall)
+	survivor := rlog.Cluster().LeaseHolder()
+	fmt.Printf("follower %s took over under epoch %d: lease expired after %s, first commit of the new reign after %s\n",
+		survivor, rlog.Cluster().LeaseEpoch(), takeover.Round(time.Millisecond), failover.Round(time.Millisecond))
 
-	// Step 2: the leader's process dies, but the memories stay reachable —
-	// the zombie-server failure mode that RDMA makes survivable.
-	cluster.CrashProcess(1)
-	fmt.Println("leader process p1 crashed; its memory remains reachable (zombie server)")
-
-	// Step 3: a new leader takes over the write permission and must reach
-	// the same decision by reading the surviving slots.
-	cluster.SetLeader(2)
-	second, err := cluster.Proposer(2).Propose(ctx, rdmaagreement.Value("epoch-1:leader=node-2"))
-	if err != nil {
-		log.Fatalf("zombie-failover: failover propose: %v", err)
+	// The fence held: the slot of the new reign's first commit was decided
+	// by the survivor, not by anything the zombie still had in flight.
+	if e, ok := rlog.Get(index); ok {
+		if d, ok := rlog.DeciderOf(e.Slot); ok {
+			fmt.Printf("slot %d decided by %s under epoch %d (old leader fenced by the phase-1 permission steal)\n",
+				e.Slot, d.Proposer, d.Epoch)
+		}
 	}
-	fmt.Printf("new leader p2 decided %s after taking over the write permission\n", second.Value)
 
-	if !second.Value.Equal(first.Value) {
-		log.Fatalf("zombie-failover: agreement violated: %s vs %s", first.Value, second.Value)
+	// Step 5: uninterrupted lease reads on the survivor, and no committed
+	// entry lost across the failover.
+	slotsBefore = rlog.Slots()
+	for i := 0; i < keys; i++ {
+		want := fmt.Sprintf("epoch-1:%d", i)
+		if i == 0 {
+			want = "epoch-2:healed"
+		}
+		got, err := rlog.Read(ctx, []byte(fmt.Sprintf("cfg/%d", i)))
+		if err != nil {
+			log.Fatalf("zombie-failover: read after failover: %v", err)
+		}
+		if string(got) != want {
+			log.Fatalf("zombie-failover: entry lost across failover: cfg/%d = %q, want %q", i, got, want)
+		}
 	}
-	fmt.Println("agreement preserved across the zombie failover: the committed value survived the leader's death")
+	stats = rlog.Stats()
+	fmt.Printf("%d post-failover reads served under %s's lease (%d lease reads total, %d extra slots)\n",
+		keys, survivor, stats.LeaseReads, rlog.Slots()-slotsBefore)
+	fmt.Printf("agreement preserved across the zombie failover: every acknowledged entry survived (%d committed, %d takeover, %d recovered slots)\n",
+		rlog.Len(), stats.Takeovers, stats.Recovered)
 }

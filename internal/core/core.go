@@ -78,8 +78,17 @@ type Options struct {
 	FaultyProcesses int
 	// FaultyMemories is f_M. Zero means the maximum for m, that is ⌊(m−1)/2⌋.
 	FaultyMemories int
-	// Leader is the initial/fast-path leader. Zero means process 1.
+	// Leader is the initial/fast-path leader: the process granted the
+	// epoch-1 lease. Zero means process 1.
 	Leader types.ProcID
+	// LeaseDuration enables leader leases: the cluster runs a lease-granting
+	// failure detector (heartbeats over the simulated network) whose holder
+	// is renewed for LeaseDuration past each of its heartbeats and replaced —
+	// under a bumped epoch — once it goes silent and the lease expires.
+	// Cluster.Leader then follows the lease. Zero disables expiry: the
+	// initial leader keeps an eternal epoch-1 lease and SetLeader is the
+	// only takeover path (the pre-lease behavior).
+	LeaseDuration time.Duration
 	// NetworkDelay is the one-way message delay of the simulated network.
 	NetworkDelay time.Duration
 	// MemoryLatency is the per-operation latency of the simulated memories.
@@ -153,7 +162,12 @@ type Cluster struct {
 	Pool     *memsim.Pool
 	Network  *netsim.Network
 	Ring     *sigs.KeyRing
-	Oracle   *omega.Static
+	// Oracle is the cluster's Ω implementation: a lease-granting failure
+	// detector shared by every node. With Options.LeaseDuration zero it
+	// degenerates to the old static oracle (an eternal epoch-1 lease moved
+	// only by SetLeader); with a positive duration the cluster's lease
+	// runtime renews and re-elects it automatically.
+	Oracle *omega.LeaseDetector
 
 	proposers map[types.ProcID]Proposer
 
@@ -177,7 +191,7 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 		Procs:     procs,
 		Network:   netsim.New(netsim.Options{Delay: opts.NetworkDelay}),
 		Ring:      sigs.NewKeyRing(procs),
-		Oracle:    omega.NewStatic(opts.Leader),
+		Oracle:    omega.NewLeaseDetector(procs, opts.Leader, omega.LeaseOptions{Duration: opts.LeaseDuration}),
 		proposers: make(map[types.ProcID]Proposer, len(procs)),
 		routers:   make(map[types.ProcID]*netsim.Router, len(procs)),
 	}
@@ -231,7 +245,76 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 			}
 		}
 	}
+	if opts.LeaseDuration > 0 {
+		c.startLeaseRuntime()
+	}
 	return c, nil
+}
+
+// startLeaseRuntime wires the lease detector to the simulated network: every
+// process broadcasts heartbeats (stamped off the detector's delay clock, so
+// successive rounds chain causally); every process's router feeds received
+// heartbeats back into the shared detector — the followers' grant path,
+// where self-deliveries do not count (see LeaseDetector.Heartbeat) — and a
+// ticker runs the election step. Crashing a process on the network stops
+// its renewals and its electability exactly like a stalled CPU while its
+// memories stay reachable (the zombie-server failure mode), and a holder
+// partitioned away from every follower loses its lease the same way: no
+// follower hears it, so nobody keeps granting.
+func (c *Cluster) startLeaseRuntime() {
+	period := c.Opts.LeaseDuration / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, p := range c.Procs {
+		ep := c.Network.Register(p)
+		sub := c.router(p).Subscribe(omega.LeaseHeartbeatKind, 0)
+		wg.Add(2)
+		go func() { // heartbeat sender: errors just mean nobody hears us
+			defer wg.Done()
+			ticker := time.NewTicker(period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					_ = ep.Broadcast(omega.LeaseHeartbeatKind, nil, c.Oracle.Now())
+				}
+			}
+		}()
+		go func() { // heartbeat receiver: process p's follower grants
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case msg := <-sub:
+					c.Oracle.Heartbeat(msg.From, p, msg.Stamp)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // election ticker
+		defer wg.Done()
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.Oracle.Tick()
+			}
+		}
+	}()
+	c.stoppers = append(c.stoppers, func() {
+		cancel()
+		wg.Wait()
+	})
 }
 
 // Close stops every node and the simulated network.
@@ -296,11 +379,30 @@ func (c *Cluster) instanceClosed(inst *Instance) {
 	c.liveInstances--
 }
 
-// Leader returns the configured initial/fast-path leader.
-func (c *Cluster) Leader() types.ProcID { return c.Opts.Leader }
+// Leader returns the current lease holder. Before any takeover this is the
+// configured initial leader; after an election or SetLeader it follows the
+// lease. Callers that need the epoch-carrying view use Lease.
+func (c *Cluster) Leader() types.ProcID { return c.Oracle.Leader() }
 
-// SetLeader changes the Ω oracle's output (simulating a leader change).
-func (c *Cluster) SetLeader(p types.ProcID) { c.Oracle.SetLeader(p) }
+// SetLeader forces a lease takeover by p under the next epoch (simulating a
+// leader change / planned handoff).
+func (c *Cluster) SetLeader(p types.ProcID) { c.Oracle.Transfer(p) }
+
+// Lease returns the cluster's current lease (holder, epoch, expiry).
+func (c *Cluster) Lease() omega.Lease { return c.Oracle.Lease() }
+
+// LeaseHolder returns the current lease holder (valid or expired).
+func (c *Cluster) LeaseHolder() types.ProcID { return c.Oracle.Leader() }
+
+// LeaseEpoch returns the current lease epoch. Epochs are strictly monotone
+// and fence superseded leaders: a proposal driven under epoch e must not
+// decide once a lease of epoch > e exists (the replication layer enforces
+// this through the recovery instances' phase-1 permission steal).
+func (c *Cluster) LeaseEpoch() uint64 { return c.Oracle.Epoch() }
+
+// LeaseTakeovers returns how many lease takeovers (elections and forced
+// transfers) the cluster has seen.
+func (c *Cluster) LeaseTakeovers() uint64 { return c.Oracle.Takeovers() }
 
 // CrashMemories crashes count memories (in identifier order) and returns
 // their identifiers.

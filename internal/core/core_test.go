@@ -208,3 +208,72 @@ func TestRecoveryInstanceRequiresProposer(t *testing.T) {
 		t.Fatalf("NewRecoveryInstance with no proposer succeeded, want error")
 	}
 }
+
+// TestLeaseRuntimeElectsOnCrash wires a lease-enabled cluster and crashes the
+// lease holder's process on the network: its heartbeats stop, the lease
+// expires, and the runtime must elect the smallest surviving process under a
+// bumped epoch — while a healthy holder is never deposed.
+func TestLeaseRuntimeElectsOnCrash(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{
+		Processes: 3, Memories: 3, InstancesOnly: true, LeaseDuration: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cluster.Close)
+
+	if holder, epoch := cluster.LeaseHolder(), cluster.LeaseEpoch(); holder != 1 || epoch != 1 {
+		t.Fatalf("initial lease = holder %v epoch %d, want holder 1 epoch 1", holder, epoch)
+	}
+	// A healthy holder keeps renewing: no takeover across several lease
+	// lengths.
+	time.Sleep(4 * cluster.Opts.LeaseDuration)
+	if got := cluster.LeaseTakeovers(); got != 0 {
+		t.Fatalf("healthy holder was deposed %d times", got)
+	}
+
+	cluster.CrashProcess(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.LeaseEpoch() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no takeover %v after crashing the holder (lease %+v)", 10*time.Second, cluster.Lease())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	lease := cluster.Lease()
+	if lease.Holder != 2 {
+		t.Fatalf("takeover elected %v, want the smallest survivor 2 (lease %+v)", lease.Holder, lease)
+	}
+	if !lease.Valid(time.Now()) && cluster.LeaseEpoch() == lease.Epoch {
+		t.Fatalf("takeover lease not renewed by the new holder: %+v", lease)
+	}
+	if cluster.Leader() != lease.Holder {
+		t.Fatalf("Leader() = %v does not follow the lease holder %v", cluster.Leader(), lease.Holder)
+	}
+}
+
+// TestLeaseRuntimePartitionedHolderDeposed partitions the lease holder away
+// from every follower: its heartbeats reach only itself, which is not a
+// grant, so the lease must expire and a follower on the majority side must
+// take over.
+func TestLeaseRuntimePartitionedHolderDeposed(t *testing.T) {
+	cluster, err := NewCluster(ProtocolProtectedMemoryPaxos, Options{
+		Processes: 3, Memories: 3, InstancesOnly: true, LeaseDuration: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cluster.Close)
+
+	cluster.Network.Partition([]types.ProcID{1})
+	deadline := time.Now().Add(10 * time.Second)
+	for cluster.LeaseEpoch() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned holder never deposed (lease %+v)", cluster.Lease())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if holder := cluster.LeaseHolder(); holder == 1 {
+		t.Fatalf("takeover kept the partitioned holder %v", holder)
+	}
+}

@@ -48,8 +48,16 @@ type Instance struct {
 // Paxos, Paxos and Fast Paxos. The remaining protocols hard-code their
 // single-shot memory layout (Cheap Quorum's panic region, Disk Paxos's
 // blocks) and report an error.
+//
+// A new instance is laid out for the CURRENT lease holder: its region's
+// initial write permission (and the skip-phase-1 fast path) go to the holder
+// at creation time, so slots stay 2-deciding across lease takeovers — the
+// post-failover holder proposes into fresh slots as cheaply as the initial
+// leader did. A stale holder view only costs liveness, never safety: the
+// real holder's first proposal runs the full phase 1 and steals the
+// permission.
 func (c *Cluster) NewInstance(slot uint64) (*Instance, error) {
-	return c.newInstance(slot, c.Oracle)
+	return c.newInstance(slot, c.Oracle, c.Oracle.Leader(), false)
 }
 
 // NewRecoveryInstance creates a consensus instance for slot whose nodes all
@@ -73,10 +81,15 @@ func (c *Cluster) NewRecoveryInstance(slot uint64, proposer types.ProcID) (*Inst
 	if proposer == types.NoProcess {
 		return nil, fmt.Errorf("%w: recovery instance needs a proposer", types.ErrInvalidConfig)
 	}
-	return c.newInstance(slot, omega.NewStatic(proposer))
+	// forcePhase1: the recovery proposer may BE the current lease holder
+	// (post-takeover fencing re-runs a superseded epoch's slots from the new
+	// holder), and a holder-laid-out instance would let it skip phase 1 —
+	// bypassing exactly the permission steal and value adoption recovery
+	// exists for.
+	return c.newInstance(slot, omega.NewStatic(proposer), c.Opts.Leader, true)
 }
 
-func (c *Cluster) newInstance(slot uint64, oracle omega.Oracle) (*Instance, error) {
+func (c *Cluster) newInstance(slot uint64, oracle omega.Oracle, initialLeader types.ProcID, forcePhase1 bool) (*Instance, error) {
 	inst := &Instance{
 		Slot:    slot,
 		cluster: c,
@@ -90,12 +103,12 @@ func (c *Cluster) newInstance(slot uint64, oracle omega.Oracle) (*Instance, erro
 		// example two sharded-log clients racing, or a recovery instance
 		// rebuilt over a region the original attempt already wrote) is safe:
 		// the permission and contents of an existing region are never reset.
-		spec := pmpaxos.InstanceLayout(slot, c.Procs, c.Opts.Leader)
+		spec := pmpaxos.InstanceLayout(slot, c.Procs, initialLeader)
 		for _, mem := range c.Pool.Memories() {
 			mem.EnsureRegion(spec)
 		}
 		build = func(p types.ProcID) (SlotProposer, func(), error) {
-			return c.buildPMPaxosSlot(slot, p, oracle)
+			return c.buildPMPaxosSlot(slot, p, oracle, initialLeader, forcePhase1)
 		}
 	case ProtocolPaxos:
 		build = func(p types.ProcID) (SlotProposer, func(), error) {
@@ -174,14 +187,15 @@ func (h *pmPaxosSlotHandle) WaitDecision(ctx context.Context) (types.Value, erro
 	return h.node.WaitDecision(ctx)
 }
 
-func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID, oracle omega.Oracle) (SlotProposer, func(), error) {
+func (c *Cluster) buildPMPaxosSlot(slot uint64, p types.ProcID, oracle omega.Oracle, initialLeader types.ProcID, forcePhase1 bool) (SlotProposer, func(), error) {
 	router := c.router(p)
 	decideKind := pmpaxos.DecideKindFor(slot)
 	sub := router.Subscribe(decideKind, 0)
 	node, err := pmpaxos.New(pmpaxos.Config{
 		Self:           p,
 		Procs:          c.Procs,
-		InitialLeader:  c.Opts.Leader,
+		InitialLeader:  initialLeader,
+		ForcePhase1:    forcePhase1,
 		FaultyMemories: c.Opts.FaultyMemories,
 		Memories:       c.Pool.Memories(),
 		Oracle:         oracle,

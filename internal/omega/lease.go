@@ -1,0 +1,253 @@
+package omega
+
+import (
+	"sync"
+	"time"
+
+	"rdmaagreement/internal/delayclock"
+	"rdmaagreement/internal/types"
+)
+
+// LeaseHeartbeatKind is the message kind of lease heartbeats; clusters that
+// run a lease detector dedicate this kind to it on every process's router.
+const LeaseHeartbeatKind = "omega/lease/heartbeat"
+
+// DefaultLeaseDuration is the lease length used when LeaseOptions.Duration is
+// zero but leases are requested.
+const DefaultLeaseDuration = 150 * time.Millisecond
+
+// Lease is an epoch-stamped, time-bounded leadership grant: the holder may
+// act as the group's proposer — and serve local linearizable reads — until
+// Expiry, unless a successor takes over first (which bumps Epoch). Epochs are
+// strictly monotone: at most one process ever holds a given epoch, so an
+// epoch comparison totally orders any two leadership claims.
+type Lease struct {
+	// Holder is the process the lease is granted to.
+	Holder types.ProcID
+	// Epoch is the grant's monotone epoch. Takeovers (elections and forced
+	// transfers) increment it; renewals do not.
+	Epoch uint64
+	// Expiry is when the lease lapses unless renewed. The zero time means
+	// the lease never expires (the static-leader degenerate mode).
+	Expiry time.Time
+	// Stamp is the causal delay-clock reading at the grant or latest
+	// renewal, merged from the heartbeats that drove it.
+	Stamp delayclock.Stamp
+}
+
+// Valid reports whether the lease is in force at the given time.
+func (l Lease) Valid(now time.Time) bool {
+	return l.Holder != types.NoProcess && (l.Expiry.IsZero() || now.Before(l.Expiry))
+}
+
+// LeaseOptions configure a LeaseDetector.
+type LeaseOptions struct {
+	// Duration is the lease length. Zero or negative disables expiry: the
+	// initial holder keeps an eternal epoch-1 lease and Transfer is the only
+	// takeover path (the pre-lease static-oracle behavior).
+	Duration time.Duration
+	// Now is the wall clock, injectable for tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+// LeaseDetector is a lease-granting failure detector: the follower side of
+// the cluster grants the current holder a time-bounded lease, renewed by the
+// holder's heartbeats, and elects a successor — bumping the epoch — once
+// renewals stop and the lease expires. It implements Oracle (the reported
+// leader is the current holder, expired or not: Ω is liveness-only, while
+// epoch fencing is what protects safety across takeovers).
+//
+// The detector is the cluster-wide aggregate of the followers' grant state,
+// which the simulation keeps in one place the way it keeps one memory pool
+// and one network. Heartbeats still ride the simulated network, so a process
+// crashed there (the paper's zombie server: CPU dead, memory alive) stops
+// renewing and stops being electable, exactly as in a distributed
+// deployment.
+type LeaseDetector struct {
+	mu        sync.Mutex
+	procs     []types.ProcID
+	duration  time.Duration
+	now       func() time.Time
+	clock     delayclock.Clock
+	heard     map[types.ProcID]time.Time // last heartbeat per process
+	lease     Lease
+	takeovers uint64
+	changes   chan struct{} // coalescing epoch-change notification
+}
+
+var _ Oracle = (*LeaseDetector)(nil)
+
+// NewLeaseDetector creates a detector over procs with the initial lease
+// (epoch 1) granted to holder. Every process starts considered alive, like
+// the heartbeat Detector: election needs evidence of silence, not of life.
+func NewLeaseDetector(procs []types.ProcID, holder types.ProcID, opts LeaseOptions) *LeaseDetector {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if opts.Duration < 0 {
+		opts.Duration = 0
+	}
+	d := &LeaseDetector{
+		procs:    append([]types.ProcID(nil), procs...),
+		duration: opts.Duration,
+		now:      opts.Now,
+		heard:    make(map[types.ProcID]time.Time, len(procs)),
+		changes:  make(chan struct{}, 1),
+	}
+	now := d.now()
+	for _, p := range procs {
+		d.heard[p] = now
+	}
+	d.lease = Lease{Holder: holder, Epoch: 1, Expiry: d.expiryFrom(now)}
+	return d
+}
+
+// expiryFrom returns the expiry of a grant made at now: now+Duration, or the
+// never-expires zero time when leases are disabled.
+func (d *LeaseDetector) expiryFrom(now time.Time) time.Time {
+	if d.duration <= 0 {
+		return time.Time{}
+	}
+	return now.Add(d.duration)
+}
+
+// Duration returns the configured lease length (zero when expiry is
+// disabled).
+func (d *LeaseDetector) Duration() time.Duration { return d.duration }
+
+// Heartbeat records a heartbeat from one process received AT another,
+// carrying the sender's delay-clock stamp. A heartbeat from the current
+// holder renews its lease — followers keep granting for Duration past the
+// latest beat — as long as no successor has taken over; a superseded
+// holder's late heartbeats change nothing, its epoch is already fenced.
+//
+// Self-delivered heartbeats (from == at) are NOT grants: leases are granted
+// by followers, so a process partitioned away from everyone must lose its
+// lease — and its electability — rather than keep itself leader on its own
+// vouching. A single-process group is the exception: it is its own entire
+// follower set.
+func (d *LeaseDetector) Heartbeat(from, at types.ProcID, stamp delayclock.Stamp) {
+	now := d.now()
+	merged := d.clock.MergeAfterMessage(stamp)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if from == at && len(d.procs) > 1 {
+		return
+	}
+	d.heard[from] = now
+	if from == d.lease.Holder && d.duration > 0 {
+		d.lease.Expiry = now.Add(d.duration)
+		d.lease.Stamp = merged
+	}
+}
+
+// Tick is the election step, run periodically by the cluster's lease
+// runtime: while the lease is in force it does nothing; once it has expired,
+// the smallest recently-heard-from process — preferring one other than the
+// expired holder, so a holder whose renewals stopped is actually replaced —
+// acquires a fresh lease under the next epoch. If every process is silent
+// the lease stays expired: no successor can be granted what no follower
+// vouches for.
+func (d *LeaseDetector) Tick() Lease {
+	now := d.now()
+	d.mu.Lock()
+	if d.duration <= 0 || d.lease.Valid(now) {
+		lease := d.lease
+		d.mu.Unlock()
+		return lease
+	}
+	expired := d.lease.Holder
+	successor := types.NoProcess
+	expiredFresh := false
+	for _, p := range d.procs {
+		if now.Sub(d.heard[p]) > d.duration {
+			continue // silent: not electable
+		}
+		if p == expired {
+			expiredFresh = true
+			continue
+		}
+		if successor == types.NoProcess || p < successor {
+			successor = p
+		}
+	}
+	if successor == types.NoProcess && expiredFresh {
+		successor = expired // electable again only when nobody else is
+	}
+	if successor == types.NoProcess {
+		lease := d.lease
+		d.mu.Unlock()
+		return lease
+	}
+	d.lease = Lease{Holder: successor, Epoch: d.lease.Epoch + 1, Expiry: d.expiryFrom(now), Stamp: d.clock.Now()}
+	d.takeovers++
+	lease := d.lease
+	d.mu.Unlock()
+	d.notify()
+	return lease
+}
+
+// Transfer forces a takeover by p under the next epoch — the programmatic
+// leader change behind Cluster.SetLeader (tests, planned handoffs). It is a
+// no-op when p already holds an unexpired lease.
+func (d *LeaseDetector) Transfer(p types.ProcID) Lease {
+	now := d.now()
+	d.mu.Lock()
+	if d.lease.Holder == p && d.lease.Valid(now) {
+		lease := d.lease
+		d.mu.Unlock()
+		return lease
+	}
+	d.lease = Lease{Holder: p, Epoch: d.lease.Epoch + 1, Expiry: d.expiryFrom(now), Stamp: d.clock.Now()}
+	d.takeovers++
+	lease := d.lease
+	d.mu.Unlock()
+	d.notify()
+	return lease
+}
+
+// notify coalesces an epoch-change signal into the changes channel.
+func (d *LeaseDetector) notify() {
+	select {
+	case d.changes <- struct{}{}:
+	default:
+	}
+}
+
+// Changes returns a channel that receives a (coalesced) signal after every
+// epoch change. Receivers re-read Lease for the current state.
+func (d *LeaseDetector) Changes() <-chan struct{} { return d.changes }
+
+// Lease returns a snapshot of the current lease.
+func (d *LeaseDetector) Lease() Lease {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lease
+}
+
+// Leader implements Oracle: the current lease holder, expired or not.
+func (d *LeaseDetector) Leader() types.ProcID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lease.Holder
+}
+
+// Epoch returns the current lease epoch.
+func (d *LeaseDetector) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lease.Epoch
+}
+
+// Now returns the detector's causal delay-clock reading, advanced by the
+// heartbeats it has merged. Heartbeat senders stamp their next beat with it,
+// so successive heartbeat rounds form a causal chain.
+func (d *LeaseDetector) Now() delayclock.Stamp { return d.clock.Now() }
+
+// Takeovers returns how many epoch changes (elections and forced transfers)
+// have happened.
+func (d *LeaseDetector) Takeovers() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.takeovers
+}

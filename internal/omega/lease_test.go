@@ -1,0 +1,186 @@
+package omega
+
+import (
+	"testing"
+	"time"
+
+	"rdmaagreement/internal/types"
+)
+
+// fakeClock is an adjustable wall clock for deterministic lease tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                 { return &fakeClock{t: time.Unix(1000, 0)} }
+func procs(ids ...types.ProcID) []types.ProcID { return ids }
+func leaseOpts(c *fakeClock, d time.Duration) LeaseOptions {
+	return LeaseOptions{Duration: d, Now: c.now}
+}
+
+// TestLeaseRenewalKeepsHolder drives holder heartbeats past several lease
+// lengths: the lease must stay valid under the same epoch, and Tick must not
+// elect anyone.
+func TestLeaseRenewalKeepsHolder(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	for i := 0; i < 10; i++ {
+		clock.advance(50 * time.Millisecond)
+		d.Heartbeat(1, 2, 0)
+		d.Heartbeat(2, 1, 0)
+		d.Heartbeat(3, 1, 0)
+		if got := d.Tick(); got.Holder != 1 || got.Epoch != 1 {
+			t.Fatalf("tick %d: lease = %+v, want holder 1 epoch 1", i, got)
+		}
+	}
+	if !d.Lease().Valid(clock.now()) {
+		t.Fatalf("renewed lease expired: %+v at %v", d.Lease(), clock.now())
+	}
+	if d.Takeovers() != 0 {
+		t.Fatalf("Takeovers = %d, want 0", d.Takeovers())
+	}
+}
+
+// TestLeaseExpiryElectsSuccessor stops the holder's heartbeats while the
+// followers keep beating: the lease must expire, and the next Tick must
+// elect the smallest live follower under epoch 2.
+func TestLeaseExpiryElectsSuccessor(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	// The holder goes silent; followers stay fresh.
+	for i := 0; i < 4; i++ {
+		clock.advance(40 * time.Millisecond)
+		d.Heartbeat(2, 3, 0)
+		d.Heartbeat(3, 2, 0)
+	}
+	if d.Lease().Valid(clock.now()) {
+		t.Fatalf("lease still valid %v past the last holder heartbeat", clock.now())
+	}
+	lease := d.Tick()
+	if lease.Holder != 2 || lease.Epoch != 2 {
+		t.Fatalf("after expiry: lease = %+v, want holder 2 epoch 2", lease)
+	}
+	if !lease.Valid(clock.now()) {
+		t.Fatalf("fresh takeover lease is not valid: %+v", lease)
+	}
+	if d.Takeovers() != 1 {
+		t.Fatalf("Takeovers = %d, want 1", d.Takeovers())
+	}
+	select {
+	case <-d.Changes():
+	default:
+		t.Fatalf("no change notification after an election")
+	}
+	// The deposed holder's late heartbeat must not renew anything: its epoch
+	// is over.
+	d.Heartbeat(1, 2, 0)
+	if got := d.Lease(); got.Holder != 2 || got.Epoch != 2 {
+		t.Fatalf("late heartbeat from the deposed holder changed the lease: %+v", got)
+	}
+}
+
+// TestLeaseNoSuccessorStaysExpired silences every process: the lease must
+// expire and stay expired — nobody can be granted a lease no follower
+// vouches for.
+func TestLeaseNoSuccessorStaysExpired(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	clock.advance(500 * time.Millisecond)
+	lease := d.Tick()
+	if lease.Valid(clock.now()) {
+		t.Fatalf("lease valid with every process silent: %+v", lease)
+	}
+	if lease.Holder != 1 || lease.Epoch != 1 {
+		t.Fatalf("silent cluster elected someone: %+v", lease)
+	}
+}
+
+// TestLeaseTransfer checks the forced-takeover path (Cluster.SetLeader):
+// epoch bump, notification, and the no-op on transferring to the current
+// valid holder.
+func TestLeaseTransfer(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	lease := d.Transfer(3)
+	if lease.Holder != 3 || lease.Epoch != 2 {
+		t.Fatalf("Transfer(3): lease = %+v, want holder 3 epoch 2", lease)
+	}
+	if again := d.Transfer(3); again.Epoch != 2 {
+		t.Fatalf("Transfer to the valid holder bumped the epoch: %+v", again)
+	}
+	if d.Takeovers() != 1 {
+		t.Fatalf("Takeovers = %d, want 1", d.Takeovers())
+	}
+}
+
+// TestLeaseDisabledNeverExpires runs the degenerate static mode (Duration 0):
+// the initial lease is eternal, Tick never elects, and only Transfer moves
+// leadership.
+func TestLeaseDisabledNeverExpires(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2), 1, leaseOpts(clock, 0))
+	clock.advance(24 * time.Hour)
+	if lease := d.Tick(); lease.Holder != 1 || lease.Epoch != 1 || !lease.Valid(clock.now()) {
+		t.Fatalf("static lease changed or expired: %+v", lease)
+	}
+	if lease := d.Transfer(2); lease.Holder != 2 || lease.Epoch != 2 || !lease.Valid(clock.now()) {
+		t.Fatalf("static transfer: lease = %+v, want eternal holder 2 epoch 2", lease)
+	}
+}
+
+// TestLeaseRevivedHolderNotPreferred revives the deposed holder after a
+// takeover: leadership must stay with the successor as long as it renews,
+// even though the old holder has the smaller identifier.
+func TestLeaseRevivedHolderNotPreferred(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	clock.advance(150 * time.Millisecond)
+	d.Heartbeat(2, 3, 0)
+	d.Heartbeat(3, 2, 0)
+	if lease := d.Tick(); lease.Holder != 2 {
+		t.Fatalf("takeover went to %v, want 2", lease.Holder)
+	}
+	// p1 comes back and beats alongside everyone else: the lease must stick
+	// with p2 (renewals win over identifier order — no flapping).
+	for i := 0; i < 5; i++ {
+		clock.advance(50 * time.Millisecond)
+		d.Heartbeat(1, 2, 0)
+		d.Heartbeat(2, 1, 0)
+		d.Heartbeat(3, 1, 0)
+		if lease := d.Tick(); lease.Holder != 2 || lease.Epoch != 2 {
+			t.Fatalf("revived p1 stole the lease: %+v", lease)
+		}
+	}
+}
+
+// TestLeaseSelfHeartbeatIsNotAGrant feeds the detector only self-delivered
+// heartbeats from the holder (the partitioned-leader picture: its broadcasts
+// reach nobody but itself): the lease must expire anyway — followers grant
+// leases, a holder cannot vouch for itself — and the followers, who still
+// hear each other, must elect a successor. A single-process group is the
+// exception: it is its own follower set, so its self-beats do renew.
+func TestLeaseSelfHeartbeatIsNotAGrant(t *testing.T) {
+	clock := newFakeClock()
+	d := NewLeaseDetector(procs(1, 2, 3), 1, leaseOpts(clock, 100*time.Millisecond))
+	for i := 0; i < 4; i++ {
+		clock.advance(40 * time.Millisecond)
+		d.Heartbeat(1, 1, 0) // self-delivery only: not a grant
+		d.Heartbeat(2, 3, 0)
+		d.Heartbeat(3, 2, 0)
+	}
+	if d.Lease().Valid(clock.now()) {
+		t.Fatalf("self-heartbeats renewed the lease: %+v", d.Lease())
+	}
+	if lease := d.Tick(); lease.Holder != 2 || lease.Epoch != 2 {
+		t.Fatalf("partitioned holder not deposed: %+v, want holder 2 epoch 2", lease)
+	}
+
+	single := NewLeaseDetector(procs(1), 1, leaseOpts(clock, 100*time.Millisecond))
+	for i := 0; i < 4; i++ {
+		clock.advance(40 * time.Millisecond)
+		single.Heartbeat(1, 1, 0)
+	}
+	if !single.Lease().Valid(clock.now()) {
+		t.Fatalf("single-process group lost its own lease: %+v", single.Lease())
+	}
+}

@@ -149,6 +149,13 @@ type Config struct {
 	Procs []types.ProcID
 	// InitialLeader is the process holding write permission at start (p1).
 	InitialLeader types.ProcID
+	// ForcePhase1 makes this node run the full first phase even on its first
+	// proposal as the initial leader. Recovery and fencing proposers set it:
+	// their phase 1 must steal the write permission — fencing any
+	// still-in-flight write of a superseded attempt — and adopt the highest
+	// accepted value, both of which the initial leader's skip-phase-1 fast
+	// path would bypass.
+	ForcePhase1 bool
 	// FaultyMemories is f_M; m ≥ 2f_M+1.
 	FaultyMemories int
 	// Memories is the memory pool laid out with Layout/LegalChange.
@@ -393,7 +400,7 @@ func (n *Node) runRound(ctx context.Context, v types.Value) (Outcome, bool, erro
 	n.mu.Lock()
 	ballot := n.highestSeen.Next(n.cfg.Self, n.highestSeen)
 	n.highestSeen = ballot
-	skipPhase1 := n.firstTry && n.cfg.Self == n.cfg.InitialLeader
+	skipPhase1 := n.firstTry && n.cfg.Self == n.cfg.InitialLeader && !n.cfg.ForcePhase1
 	n.firstTry = false
 	n.mu.Unlock()
 

@@ -28,11 +28,26 @@
 // learn its decided fate, and a displaced batch is retried at a later slot,
 // exactly once (see Stats).
 //
+// Leadership is a lease, not a constant: the committer proposes from the
+// cluster's current lease holder (core.Cluster.LeaseHolder), and when the
+// holder stalls — its heartbeats stop and the lease expires — a follower
+// replica takes over under a bumped epoch. The takeover fences the old
+// epoch: in-flight proposals of the superseded holder are cancelled and
+// their slots re-run from the new holder through the recovery machinery,
+// whose phase-1 permission steal guarantees a deposed leader's writes cannot
+// decide after its epoch ends, while any batch that already persisted is
+// adopted rather than lost. The reorder buffer carries across the epoch
+// change untouched — slots still apply in slot order, whoever proposed them
+// — and a batch displaced twice by the transition fails its waiters with the
+// typed, retryable ErrLeaseLost instead of committing ambiguously.
+//
 // The application side is the classic RSM contract (StateMachine): Propose
 // replicates a command and returns the machine's response for it, Read serves
-// linearizable queries via a read-index barrier (a no-op slot commit), and
-// StaleRead serves local, possibly-stale queries from a replica's learner
-// view. Every SnapshotInterval applied entries the committer snapshots the
+// linearizable queries via a read-index barrier (a no-op slot commit) — or,
+// while the group's lease is in force, straight from the authoritative
+// machine with zero consensus slots, the lease being exactly the guarantee
+// that no other proposer can have committed unseen writes — and StaleRead
+// serves local, possibly-stale queries from a replica's learner view. Every SnapshotInterval applied entries the committer snapshots the
 // machine and truncates the decided prefix — releasing the per-slot memory
 // regions — so live memory is bounded by the machine's state plus one
 // interval, not by log length; a replica that missed truncated slots is
@@ -87,6 +102,12 @@ type Options struct {
 	// and responses, read barriers, snapshots and slot GC are all keyed to
 	// the contiguous applied prefix. Zero means 4; 1 (or negative) disables
 	// pipelining and commits one slot at a time.
+	//
+	// Pipeline is a ceiling, not a constant: the committer adapts the live
+	// depth, halving it whenever a slot times out into recovery (a struggling
+	// fabric gains nothing from more concurrent timeouts) and restoring one
+	// step after every run of consecutive clean slots. The live depth is
+	// surfaced as Stats.PipelineDepth.
 	Pipeline int
 	// SlotTimeout bounds the agreement of one slot. A slot that times out
 	// mid-agreement has an ambiguous outcome (its value may or may not be
@@ -155,12 +176,11 @@ type Entry struct {
 // committed by Read/ReadFrom as the read-index barrier when no writes are
 // queued alongside.
 //
-// With today's single committer per group the decided batch is always the
-// proposed one; the origin/ID plumbing is the safety net for the multi-
-// proposer setups the slots already support (core.Instance allows concurrent
-// proposers, and per-shard leases are a ROADMAP follow-up): a slot lost to a
-// competitor must commit the competitor's batch and retry ours, never
-// mislabel it.
+// The origin/ID plumbing is what keeps multi-proposer slots honest — and
+// with leases the multi-proposer case is real: across a takeover the old
+// epoch's batch and the new holder's fencing no-op compete for the same
+// slot, and a slot lost to a competitor must commit the competitor's batch
+// and retry (or fail) ours, never mislabel it.
 type wireBatch struct {
 	Origin uint64   `json:"origin"`
 	IDs    []uint64 `json:"ids"`
@@ -186,8 +206,8 @@ func decodeBatch(raw types.Value) (wireBatch, error) {
 	return b, nil
 }
 
-// Stats are per-group counters of the committer's ambiguous-slot recovery
-// activity, exposed via Log.Stats.
+// Stats are per-group counters of the committer's recovery, lease and
+// pipeline activity, exposed via Log.Stats.
 type Stats struct {
 	// Recovered counts slots whose agreement attempt timed out mid-slot and
 	// whose fate was then learned by a recovery round instead of halting the
@@ -201,6 +221,26 @@ type Stats struct {
 	// substrate and re-decided it, so the waiting commands resolved at the
 	// recovered slot itself and nothing was displaced.
 	Refused uint64
+	// Epoch is the group's current lease epoch. It starts at 1 and is bumped
+	// by every takeover; a proposal fenced by an epoch change can never
+	// decide under the old epoch.
+	Epoch uint64
+	// Takeovers counts lease takeovers: elections after the holder's
+	// renewals stopped, plus forced transfers.
+	Takeovers uint64
+	// LeaseReads counts linearizable reads served locally under an unexpired
+	// lease — zero consensus slots committed.
+	LeaseReads uint64
+	// BarrierReads counts linearizable reads that paid the read-index
+	// barrier (a slot ride or a dedicated no-op slot) because the lease was
+	// absent, expired or in doubt.
+	BarrierReads uint64
+	// PipelineDepth is the committer's CURRENT adaptive pipeline depth: at
+	// most Options.Pipeline, halved while slots time out into recovery and
+	// restored stepwise by runs of clean commits.
+	PipelineDepth int
+	// PipelineBackoffs counts the depth halvings.
+	PipelineBackoffs uint64
 }
 
 // queued is one command — or one read barrier — waiting for a slot.
@@ -241,22 +281,28 @@ type snapState struct {
 // committer that multiplexes slots over it and applies decided entries to the
 // group's StateMachine. All methods are safe for concurrent use.
 type Log struct {
-	opts    Options
-	cluster *core.Cluster
-	origin  uint64
+	opts         Options
+	cluster      *core.Cluster
+	origin       uint64
+	leaseEnabled bool // cluster runs time-bounded leases (LeaseDuration > 0)
 
 	mu           sync.Mutex
 	sm           StateMachine // authoritative machine, committer-applied
 	pending      []queued
 	nextID       uint64
-	entries      []Entry       // committed entries since the last truncation
-	firstIndex   uint64        // index of entries[0]
-	slots        []types.Value // decided value per retained slot, in slot order
-	firstSlot    uint64        // slot of slots[0]
-	sinceSnap    int           // entries applied since the last snapshot
-	sinceSlots   int           // slots decided since the last truncation
-	snapFailures int           // failed Snapshot() attempts
-	snapErr      error         // last Snapshot() failure; nil once one succeeds
+	holder       types.ProcID           // lease holder the committer proposes from
+	epoch        uint64                 // lease epoch the committer has adopted
+	epochCtx     context.Context        // cancelled when the adopted epoch is superseded
+	epochCancel  context.CancelFunc     // fences epochCtx
+	deciders     map[uint64]SlotDecider // per retained slot: who drove its decision, under which epoch
+	entries      []Entry                // committed entries since the last truncation
+	firstIndex   uint64                 // index of entries[0]
+	slots        []types.Value          // decided value per retained slot, in slot order
+	firstSlot    uint64                 // slot of slots[0]
+	sinceSnap    int                    // entries applied since the last snapshot
+	sinceSlots   int                    // slots decided since the last truncation
+	snapFailures int                    // failed Snapshot() attempts
+	snapErr      error                  // last Snapshot() failure; nil once one succeeds
 	snap         *snapState
 	snapCount    int
 	replicas     map[types.ProcID]*replicaView
@@ -308,22 +354,83 @@ func NewLog(opts Options) (*Log, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	l := &Log{
-		opts:     opts,
-		cluster:  cluster,
-		origin:   nextOrigin(),
-		sm:       opts.NewSM(),
-		replicas: make(map[types.ProcID]*replicaView, len(cluster.Procs)),
-		lagging:  make(map[types.ProcID]bool),
-		notify:   make(chan struct{}, 1),
-		cancel:   cancel,
+		opts:         opts,
+		cluster:      cluster,
+		origin:       nextOrigin(),
+		leaseEnabled: opts.Cluster.LeaseDuration > 0,
+		sm:           opts.NewSM(),
+		deciders:     make(map[uint64]SlotDecider),
+		replicas:     make(map[types.ProcID]*replicaView, len(cluster.Procs)),
+		lagging:      make(map[types.ProcID]bool),
+		notify:       make(chan struct{}, 1),
+		cancel:       cancel,
 	}
 	l.applied = sync.NewCond(&l.mu)
+	lease := cluster.Lease()
+	l.holder, l.epoch = lease.Holder, lease.Epoch
+	l.epochCtx, l.epochCancel = context.WithCancel(context.Background())
+	l.stats.PipelineDepth = opts.Pipeline
 	for _, p := range cluster.Procs {
 		l.replicas[p] = &replicaView{sm: opts.NewSM(), learned: make(map[uint64]types.Value)}
 	}
-	l.wg.Add(1)
+	l.wg.Add(2)
 	go l.commitLoop(ctx)
+	go l.leaseWatch(ctx)
 	return l, nil
+}
+
+// leaseWatch adopts lease epoch changes: whenever the cluster's detector
+// reports a takeover (an election after the holder stalled, or a forced
+// SetLeader transfer), the committer's proposer view moves to the new holder
+// and the superseded epoch's context is cancelled, fencing its in-flight
+// proposals — their workers fall into the recovery path, which re-runs the
+// slots from the new holder with a full phase 1 (permission steal) so
+// nothing can decide under the dead epoch.
+func (l *Log) leaseWatch(ctx context.Context) {
+	defer l.wg.Done()
+	changes := l.cluster.Oracle.Changes()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-changes:
+			lease := l.cluster.Lease()
+			l.mu.Lock()
+			if lease.Epoch == l.epoch {
+				l.mu.Unlock()
+				continue
+			}
+			l.holder, l.epoch = lease.Holder, lease.Epoch
+			fence := l.epochCancel
+			l.epochCtx, l.epochCancel = context.WithCancel(context.Background())
+			l.mu.Unlock()
+			fence()
+		}
+	}
+}
+
+// leaseView snapshots the committer's lease state: the holder to propose
+// from, the adopted epoch, and the context fenced when that epoch is
+// superseded.
+func (l *Log) leaseView() (types.ProcID, uint64, context.Context) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.holder, l.epoch, l.epochCtx
+}
+
+// leaseValid reports whether the group currently holds an unexpired
+// time-bounded lease (always false when leases are disabled: an eternal
+// static lease justifies nothing, the barrier path keeps its semantics).
+func (l *Log) leaseValid() bool {
+	return l.leaseEnabled && l.cluster.Lease().Valid(time.Now())
+}
+
+// fenceContext derives a context cancelled when either the caller's context
+// ends or the given epoch context is fenced by a takeover.
+func fenceContext(ctx, epochCtx context.Context) (context.Context, context.CancelFunc) {
+	merged, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(epochCtx, cancel)
+	return merged, func() { stop(); cancel() }
 }
 
 // Cluster exposes the underlying long-lived cluster (for fault injection in
@@ -346,6 +453,7 @@ func (l *Log) Close() {
 
 	l.cancel()
 	l.wg.Wait()
+	l.epochCancel()
 	for _, q := range pending {
 		q.done <- proposeResult{err: fmt.Errorf("%w before command committed", ErrClosed)}
 	}
@@ -368,6 +476,9 @@ func (l *Log) enqueue(q queued) (queued, error) {
 	l.nextID++
 	q.id = l.nextID
 	q.done = make(chan proposeResult, 1)
+	if q.barrier {
+		l.stats.BarrierReads++
+	}
 	l.pending = append(l.pending, q)
 	l.mu.Unlock()
 
@@ -402,14 +513,29 @@ func (l *Log) Propose(ctx context.Context, cmd []byte) (uint64, []byte, error) {
 	}
 }
 
-// Read serves a linearizable query against the group's state machine. It
-// establishes a read index by committing through the group's slot sequence —
-// the query rides the next batch's slot, or a dedicated no-op slot when no
+// Read serves a linearizable query against the group's state machine.
+//
+// While the group holds an unexpired lease, the query is answered straight
+// from the authoritative machine — zero consensus slots — with the same
+// guarantee: a Read that starts after any Propose returned observes that
+// command, because the machine has applied every returned Propose and the
+// lease certifies that no other proposer can have committed writes this
+// group has not applied (a competitor must first take the lease over, which
+// fences this epoch and is visible here as an epoch bump).
+//
+// When the lease is absent, expired or in doubt, Read falls back to the
+// read-index barrier: it commits through the group's slot sequence — the
+// query rides the next batch's slot, or a dedicated no-op slot when no
 // writes are queued — and answers from the authoritative machine at that
-// point, so a Read that starts after any Propose returned is guaranteed to
-// observe that command. The query is served via the machine's Querier
-// implementation; machines without one get ErrNotQueryable.
+// point. The query is served via the machine's Querier implementation;
+// machines without one get ErrNotQueryable.
 func (l *Log) Read(ctx context.Context, query []byte) ([]byte, error) {
+	if resp, handled, err := l.tryLeaseRead(query); handled {
+		if err != nil {
+			return nil, fmt.Errorf("smr read: %w", err)
+		}
+		return resp, nil
+	}
 	q, err := l.enqueue(queued{barrier: true, query: append([]byte(nil), query...), replica: types.NoProcess})
 	if err != nil {
 		return nil, fmt.Errorf("smr read: %w", err)
@@ -425,8 +551,54 @@ func (l *Log) Read(ctx context.Context, query []byte) ([]byte, error) {
 	}
 }
 
+// leaseReadLocked is the shared lease fast-path prologue, called with l.mu
+// held once leaseValid passed: it re-checks the lifecycle, counts the lease
+// read, and returns the zero-slot read index — the applied prefix right now,
+// which covers every returned Propose.
+func (l *Log) leaseReadLocked() (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failure != nil {
+		return 0, fmt.Errorf("%w: %w", ErrHalted, l.failure)
+	}
+	l.stats.LeaseReads++
+	return l.firstIndex + uint64(len(l.entries)), nil
+}
+
+// tryLeaseRead is Read's fast path: while the lease is in force it serves
+// the query from the authoritative machine under l.mu — the same
+// serialization every query runs under — without touching the slot
+// sequence. handled=false means the lease is in doubt and the caller must
+// take the barrier path.
+func (l *Log) tryLeaseRead(query []byte) (resp []byte, handled bool, err error) {
+	if !l.leaseValid() {
+		return nil, false, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.leaseReadLocked(); err != nil {
+		return nil, true, err
+	}
+	resp, err = querySM(l.sm, query)
+	return resp, true, err
+}
+
+// tryLeaseReadIndex is ReadFrom's fast path: the same prologue, handing back
+// only the read index for the replica-side wait.
+func (l *Log) tryLeaseReadIndex() (readIndex uint64, handled bool, err error) {
+	if !l.leaseValid() {
+		return 0, false, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	readIndex, err = l.leaseReadLocked()
+	return readIndex, true, err
+}
+
 // ReadFrom serves a linearizable query from replica p's learner view: it
-// establishes the read index exactly like Read, then waits until p's view has
+// establishes the read index exactly like Read — locally under an unexpired
+// lease, through the barrier otherwise — then waits until p's view has
 // applied through that index before querying p's machine. The answer is as
 // current as Read's even though a follower serves it; on a lagging replica
 // the wait lasts until the replica catches up (via a snapshot restore) or ctx
@@ -437,6 +609,12 @@ func (l *Log) ReadFrom(ctx context.Context, p types.ProcID, query []byte) ([]byt
 	l.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("smr read: unknown replica %s", p)
+	}
+	if readIndex, handled, err := l.tryLeaseReadIndex(); handled {
+		if err != nil {
+			return nil, fmt.Errorf("smr read: %w", err)
+		}
+		return l.awaitReplicaRead(ctx, p, readIndex, query)
 	}
 	q, err := l.enqueue(queued{barrier: true, replica: p})
 	if err != nil {
@@ -452,10 +630,15 @@ func (l *Log) ReadFrom(ctx context.Context, p types.ProcID, query []byte) ([]byt
 	case <-ctx.Done():
 		return nil, fmt.Errorf("smr read: %w", ctx.Err())
 	}
-	// Wait for p's view to apply through the read index. The cond is
-	// broadcast whenever any view advances (and on close/halt); the AfterFunc
-	// wakes waiters on ctx expiry — it takes the mutex first, so a waiter is
-	// either already in Wait or will re-check ctx before entering it.
+	return l.awaitReplicaRead(ctx, p, readIndex, query)
+}
+
+// awaitReplicaRead waits for p's view to apply through the read index, then
+// queries p's machine. The cond is broadcast whenever any view advances (and
+// on close/halt); the AfterFunc wakes waiters on ctx expiry — it takes the
+// mutex first, so a waiter is either already in Wait or will re-check ctx
+// before entering it.
+func (l *Log) awaitReplicaRead(ctx context.Context, p types.ProcID, readIndex uint64, query []byte) ([]byte, error) {
 	stop := context.AfterFunc(ctx, func() {
 		l.mu.Lock()
 		defer l.mu.Unlock()
@@ -569,11 +752,35 @@ func (l *Log) Snapshot() (data []byte, lastIndex uint64, ok bool) {
 	return append([]byte(nil), l.snap.data...), l.snap.lastIndex, true
 }
 
-// Stats returns the group's ambiguous-slot recovery counters.
+// Stats returns the group's recovery, lease and pipeline counters.
 func (l *Log) Stats() Stats {
+	takeovers := l.cluster.LeaseTakeovers()
+	epoch := l.cluster.LeaseEpoch()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	stats := l.stats
+	stats.Epoch = epoch
+	stats.Takeovers = takeovers
+	return stats
+}
+
+// SlotDecider records who drove a slot's decision: the proposer whose
+// proposal (regular or recovery) completed the slot, and the lease epoch the
+// committer had adopted when it ran. Across a takeover, every slot completed
+// from the fencing path onward carries the new epoch — a deposed holder
+// never decides a slot under an epoch newer than its own.
+type SlotDecider struct {
+	Proposer types.ProcID
+	Epoch    uint64
+}
+
+// DeciderOf reports who decided the given slot, for slots still inside the
+// retained (un-truncated) window.
+func (l *Log) DeciderOf(slot uint64) (SlotDecider, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.deciders[slot]
+	return d, ok
 }
 
 // Snapshots returns how many snapshots the committer has taken.
@@ -660,14 +867,43 @@ func (l *Log) ReplicaLog(p types.ProcID) ([][]byte, bool) {
 	return out, true
 }
 
+// work is one dispatched batch plus its displacement history: how many
+// slots it has already lost to a takeover's fencing no-op. Only
+// fence-induced displacements count: a leadership change may displace a
+// batch exactly once before its waiters are failed with the typed retryable
+// ErrLeaseLost (a contended takeover must not starve them), while a batch
+// displaced by plain timeout recovery — no leadership change to blame — is
+// re-dispatched until it commits, exactly as before leases.
+type work struct {
+	batch     []queued
+	displaced int
+}
+
+// maxDisplacements bounds how many slots one batch may lose to takeover
+// fences before its waiters are failed with ErrLeaseLost: the initial slot
+// plus one retry.
+const maxDisplacements = 2
+
+// adaptiveRestoreStreak is how many consecutive clean (non-recovered) slot
+// outcomes restore one step of adaptive pipeline depth.
+const adaptiveRestoreStreak = 8
+
 // slotOutcome is one pipeline worker's report: the slot it drove, the value
-// the slot decided (possibly learned by a recovery round), and the batch that
-// was proposed there. A non-nil err is unrecoverable and halts the group.
+// the slot decided (possibly learned by a recovery round), who drove the
+// deciding proposal under which lease epoch, whether recovery was needed —
+// and whether the ambiguity came from an epoch fence (a takeover cancelling
+// the attempt) rather than a slot timeout, which the adaptive pipeline must
+// not mistake for fabric distress. A non-nil err is unrecoverable and halts
+// the group.
 type slotOutcome struct {
-	slot    uint64
-	decided types.Value
-	batch   []queued
-	err     error
+	slot      uint64
+	decided   types.Value
+	w         work
+	proposer  types.ProcID
+	epoch     uint64
+	recovered bool
+	fenced    bool
+	err       error
 }
 
 // commitLoop is the committer's dispatcher: it drains the queue into batches,
@@ -680,17 +916,86 @@ type slotOutcome struct {
 // applied prefix, never to the highest decided slot.
 func (l *Log) commitLoop(ctx context.Context) {
 	defer l.wg.Done()
-	depth := l.opts.Pipeline
+	depth := l.opts.Pipeline // live adaptive depth, ≤ Options.Pipeline
+	cleanStreak := 0         // consecutive clean outcomes since the last backoff
 	workerCtx, cancelWorkers := context.WithCancel(ctx)
 	defer cancelWorkers()
-	// Each worker sends exactly one outcome and at most depth are in flight,
-	// so the buffer guarantees workers never block on a departing dispatcher.
-	results := make(chan slotOutcome, depth)
+	// Each worker sends exactly one outcome and at most Options.Pipeline are
+	// in flight, so the buffer guarantees workers never block on a departing
+	// dispatcher.
+	results := make(chan slotOutcome, l.opts.Pipeline)
 	reorder := make(map[uint64]slotOutcome) // decided out of order, awaiting their turn
-	var retry [][]queued                    // displaced batches, re-dispatched before new work
+	var retry []work                        // displaced batches, re-dispatched before new work
 	nextSlot := uint64(0)                   // next slot to hand to a worker
 	nextApply := uint64(0)                  // next slot to apply (== firstSlot + len(slots))
 	inflight := 0
+
+	// setDepth tracks the live adaptive depth in Stats.PipelineDepth.
+	setDepth := func(d int) {
+		depth = d
+		l.mu.Lock()
+		l.stats.PipelineDepth = d
+		l.mu.Unlock()
+	}
+	// adapt backs the pipeline off while slots time out into recovery — a
+	// struggling fabric gains nothing from more concurrent timeouts — and
+	// restores it one step per streak of clean commits. Fence-induced
+	// recoveries (a takeover cancelled the attempt; the fabric is fine) are
+	// treated as clean: a failover on a healthy fabric must not throttle
+	// the pipeline exactly when the new holder needs throughput.
+	adapt := func(recovered bool) {
+		if recovered {
+			cleanStreak = 0
+			if depth > 1 {
+				setDepth((depth + 1) / 2)
+				l.mu.Lock()
+				l.stats.PipelineBackoffs++
+				l.mu.Unlock()
+			}
+			return
+		}
+		cleanStreak++
+		if cleanStreak >= adaptiveRestoreStreak && depth < l.opts.Pipeline {
+			setDepth(depth + 1)
+			cleanStreak = 0
+		}
+	}
+	// settle commits a decided slot from the reorder buffer: record it,
+	// resolve or re-dispatch its batch, snapshot if due. It reports whether
+	// the dispatcher may continue (false = recordSlot failed; the caller
+	// owns the batch and the halt). With draining set (the terminate path)
+	// a displaced batch always lands on the retry list instead of being
+	// failed with ErrLeaseLost: terminate owns those waiters and fails them
+	// with ErrClosed/ErrHalted per its contract — telling them "safe to
+	// retry" on a closing or halting group would be a lie.
+	settle := func(r slotOutcome, draining bool) (bool, error) {
+		won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.w.batch), SlotDecider{Proposer: r.proposer, Epoch: r.epoch})
+		if err != nil {
+			return false, err
+		}
+		nextApply++
+		if won {
+			l.resolveBarriers(barriersOf(r.w.batch))
+		} else if len(r.w.batch) > 0 {
+			// A competitor — a recovery or fencing no-op, or a foreign
+			// batch — occupied the slot; ours is re-dispatched at a later
+			// one. Only fence-induced displacements count toward the
+			// ErrLeaseLost cap: a takeover may displace a batch exactly
+			// once, while timeout-recovery displacement keeps the
+			// retry-until-commit semantics (no leadership change to
+			// blame).
+			if r.fenced {
+				r.w.displaced++
+			}
+			if r.w.displaced >= maxDisplacements && !draining {
+				l.failWork(r.w, fmt.Errorf("%w (displaced %d times)", ErrLeaseLost, r.w.displaced))
+			} else {
+				retry = append(retry, r.w)
+			}
+		}
+		l.maybeSnapshot()
+		return true, nil
+	}
 
 	// terminate ends the committer: on Close it is a clean shutdown and the
 	// abandoned batches' waiters get ErrClosed, per Close's contract; on any
@@ -711,7 +1016,7 @@ func (l *Log) commitLoop(ctx context.Context) {
 			res := <-results
 			inflight--
 			if res.err != nil {
-				failed = append(failed, res.batch)
+				failed = append(failed, res.w.batch)
 			} else {
 				reorder[res.slot] = res
 			}
@@ -722,23 +1027,17 @@ func (l *Log) commitLoop(ctx context.Context) {
 				break
 			}
 			delete(reorder, nextApply)
-			won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.batch))
-			if err != nil {
-				failed = append(failed, r.batch)
+			if ok, _ := settle(r, true); !ok {
+				failed = append(failed, r.w.batch)
 				break
 			}
-			nextApply++
-			if won {
-				l.resolveBarriers(barriersOf(r.batch))
-			} else if len(r.batch) > 0 {
-				retry = append(retry, r.batch)
-			}
-			l.maybeSnapshot()
 		}
 		for _, res := range reorder {
-			failed = append(failed, res.batch)
+			failed = append(failed, res.w.batch)
 		}
-		failed = append(failed, retry...)
+		for _, w := range retry {
+			failed = append(failed, w.batch)
+		}
 		l.mu.Lock()
 		closed := l.closed
 		l.mu.Unlock()
@@ -758,17 +1057,19 @@ func (l *Log) commitLoop(ctx context.Context) {
 		// Fill the pipeline: displaced batches first (their commands are the
 		// oldest), then fresh batches from the queue.
 		for inflight < depth {
-			var batch []queued
+			var w work
 			if len(retry) > 0 {
-				batch = retry[0]
+				w = retry[0]
 				retry = retry[1:]
-			} else if batch = l.takeBatch(); batch == nil {
+			} else if batch := l.takeBatch(); batch != nil {
+				w = work{batch: batch}
+			} else {
 				break
 			}
 			slot := nextSlot
 			nextSlot++
 			inflight++
-			go l.driveSlot(workerCtx, slot, batch, results)
+			go l.driveSlot(workerCtx, slot, w, results)
 		}
 
 		if inflight == 0 {
@@ -790,35 +1091,37 @@ func (l *Log) commitLoop(ctx context.Context) {
 		case res := <-results:
 			inflight--
 			if res.err != nil {
-				terminate(res.err, res.batch)
+				terminate(res.err, res.w.batch)
 				return
 			}
+			adapt(res.recovered && !res.fenced)
 			reorder[res.slot] = res
 			// Apply the contiguous decided prefix in slot order; slots
 			// decided ahead of a still-running predecessor wait in the
-			// buffer.
+			// buffer. The reorder buffer is epoch-agnostic: slots decided
+			// under different lease epochs interleave through it unchanged,
+			// which is what carries the pipeline cleanly across a takeover.
 			for {
 				r, ok := reorder[nextApply]
 				if !ok {
 					break
 				}
 				delete(reorder, nextApply)
-				won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.batch))
-				if err != nil {
-					terminate(err, r.batch)
+				if ok, err := settle(r, false); !ok {
+					terminate(err, r.w.batch)
 					return
 				}
-				nextApply++
-				if won {
-					l.resolveBarriers(barriersOf(r.batch))
-				} else if len(r.batch) > 0 {
-					// A foreign batch — or a recovery no-op — occupied the
-					// slot; ours is re-dispatched at a later one.
-					retry = append(retry, r.batch)
-				}
-				l.maybeSnapshot()
 			}
 		}
+	}
+}
+
+// failWork resolves every waiter of a displaced batch with the given
+// (retryable) error: the batch provably did not commit at any slot.
+func (l *Log) failWork(w work, err error) {
+	res := proposeResult{err: err}
+	for _, q := range w.batch {
+		q.done <- res
 	}
 }
 
@@ -895,21 +1198,22 @@ func (l *Log) halt(cause error) {
 }
 
 // driveSlot is one pipeline worker: it owns slot end to end — agree on the
-// batch's commands there, learn the slot's fate through a recovery round if
-// the attempt's outcome turns ambiguous, wait for the replica learners — and
-// reports exactly one outcome to the dispatcher. If a competing proposer's
-// batch (or a recovery no-op) wins the slot, the dispatcher commits the
-// winner at this slot and re-dispatches ours at a later one, preserving its
-// internal order; the batch's read barriers, too, wait for our own slot, as
-// only then is the read index known to cover every command decided before
-// it.
-func (l *Log) driveSlot(ctx context.Context, slot uint64, batch []queued, results chan<- slotOutcome) {
-	decided, err := l.commitSlot(ctx, slot, batch)
-	results <- slotOutcome{slot: slot, decided: decided, batch: batch, err: err}
+// batch's commands there from the current lease holder, learn the slot's
+// fate through a recovery round if the attempt's outcome turns ambiguous
+// (a timeout, or an epoch change fencing it mid-flight), wait for the
+// replica learners — and reports exactly one outcome to the dispatcher. If a
+// competing proposer's batch (or a recovery/fencing no-op) wins the slot,
+// the dispatcher commits the winner at this slot and re-dispatches ours at a
+// later one, preserving its internal order; the batch's read barriers, too,
+// wait for our own slot, as only then is the read index known to cover every
+// command decided before it.
+func (l *Log) driveSlot(ctx context.Context, slot uint64, w work, results chan<- slotOutcome) {
+	results <- l.commitSlot(ctx, slot, w)
 }
 
-func (l *Log) commitSlot(ctx context.Context, slot uint64, batch []queued) (types.Value, error) {
-	cmds := commandsOf(batch)
+func (l *Log) commitSlot(ctx context.Context, slot uint64, w work) slotOutcome {
+	out := slotOutcome{slot: slot, w: w}
+	cmds := commandsOf(w.batch)
 	proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(cmds)), Cmds: make([][]byte, 0, len(cmds))}
 	for _, q := range cmds {
 		proposal.IDs = append(proposal.IDs, q.id)
@@ -917,35 +1221,49 @@ func (l *Log) commitSlot(ctx context.Context, slot uint64, batch []queued) (type
 	}
 	blob, err := proposal.encode()
 	if err != nil {
-		return nil, err
+		out.err = err
+		return out
 	}
 
+	holder, epoch, epochCtx := l.leaseView()
 	inst, err := l.cluster.NewInstance(slot)
 	if err != nil {
-		return nil, fmt.Errorf("smr slot %d: %w", slot, err)
+		out.err = fmt.Errorf("smr slot %d: %w", slot, err)
+		return out
 	}
-	decided, err := l.runSlot(ctx, inst, l.cluster.Leader(), blob)
+	// The attempt runs fenced by its epoch: a takeover cancels it mid-flight
+	// so a deposed holder's proposal cannot decide after its epoch ended —
+	// the recovery path below then re-runs the slot from the new holder,
+	// whose phase-1 permission steal makes the fence durable in the memories.
+	runCtx, stopFence := fenceContext(ctx, epochCtx)
+	decided, err := l.runSlot(runCtx, inst, holder, blob)
+	stopFence()
 	inst.Close()
 	if err == nil {
-		return decided, nil
+		out.decided, out.proposer, out.epoch = decided, holder, epoch
+		return out
 	}
 	if ctx.Err() != nil {
 		// Cancelled by Close or by another slot's halt — a shutdown, not an
 		// ambiguous outcome; the dispatcher owns the waiters.
-		return nil, err
+		out.err = err
+		return out
 	}
-	// The slot timed out mid-agreement, so its outcome is ambiguous: the
-	// batch may already be durable in the slot's substrate (a phase-2 write
-	// can reach a quorum before the timeout fires), in which case retrying a
-	// different value at the same slot could re-decide the old batch under a
-	// new batch's name, and skipping the slot would commit a gap. Run a
-	// recovery round to learn the slot's true fate instead of halting the
-	// group.
-	decided, rerr := l.recoverSlot(ctx, slot, blob)
+	// The slot timed out mid-agreement or was fenced by a takeover, so its
+	// outcome is ambiguous: the batch may already be durable in the slot's
+	// substrate (a phase-2 write can reach a quorum before the timeout or
+	// fence fires), in which case retrying a different value at the same
+	// slot could re-decide the old batch under a new batch's name, and
+	// skipping the slot would commit a gap. Run a recovery round to learn
+	// the slot's true fate instead of halting the group.
+	out.fenced = epochCtx.Err() != nil
+	decided, by, repoch, rerr := l.recoverSlot(ctx, slot, blob, holder)
 	if rerr != nil {
-		return nil, fmt.Errorf("smr slot %d: ambiguous outcome (%v) and recovery failed: %w", slot, err, rerr)
+		out.err = fmt.Errorf("smr slot %d: ambiguous outcome (%v) and recovery failed: %w", slot, err, rerr)
+		return out
 	}
-	return decided, nil
+	out.decided, out.proposer, out.epoch, out.recovered = decided, by, repoch, true
+	return out
 }
 
 // recoveryAttempts bounds how many recovery rounds a worker runs for one
@@ -954,6 +1272,13 @@ func (l *Log) commitSlot(ctx context.Context, slot uint64, batch []queued) (type
 // partition) that outlives the original attempt still resolves, while a
 // permanent fault halts after a bounded delay.
 const recoveryAttempts = 3
+
+// epochRetryBound separately bounds recovery re-runs caused by further lease
+// takeovers: a round fenced mid-flight by yet another epoch change is
+// restarted under the new holder without consuming a recovery attempt (the
+// fabric did not fail, leadership moved), but only this many times — epoch
+// churn must not spin a worker forever.
+const epochRetryBound = 8
 
 // recoverSlot learns the fate of a slot whose agreement attempt timed out.
 // It re-runs the slot from a recovery proposer — a replica other than the
@@ -979,49 +1304,76 @@ const recoveryAttempts = 3
 // On a single-process group there is no other replica to propose from, so
 // the original batch itself is re-proposed: re-deciding the identical value
 // is always safe, and a success resolves the ambiguity just as well.
-func (l *Log) recoverSlot(ctx context.Context, slot uint64, originalBlob types.Value) (types.Value, error) {
-	proposer := l.recoveryProposer()
-	blob, noop := originalBlob, false
-	if proposer != l.cluster.Leader() {
-		var err error
-		if blob, err = (wireBatch{}).encode(); err != nil {
-			return nil, err
-		}
-		noop = true
-	}
+//
+// Recovery is also the fencing path of a lease takeover: when the ambiguity
+// came from an epoch change (rather than a plain timeout), the recovery
+// proposer is the NEW lease holder, whose full phase 1 steals the write
+// permission out from under the deposed holder's in-flight writes — after
+// it, nothing can decide under the old epoch — and adopts the old batch if
+// it had already persisted, so no committed entry is ever lost to a
+// failover. Each attempt re-reads the lease, so a takeover mid-recovery
+// moves the round to the newest holder.
+func (l *Log) recoverSlot(ctx context.Context, slot uint64, originalBlob types.Value, originalProposer types.ProcID) (types.Value, types.ProcID, uint64, error) {
 	var lastErr error
-	for attempt := 0; attempt < recoveryAttempts; attempt++ {
+	epochRetries := 0
+	for attempt := 0; attempt < recoveryAttempts; {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, types.NoProcess, 0, err
+		}
+		holder, epoch, epochCtx := l.leaseView()
+		proposer := l.recoveryProposer(holder, originalProposer)
+		blob, noop := originalBlob, false
+		if proposer != originalProposer {
+			var err error
+			if blob, err = (wireBatch{}).encode(); err != nil {
+				return nil, types.NoProcess, 0, err
+			}
+			noop = true
 		}
 		inst, err := l.cluster.NewRecoveryInstance(slot, proposer)
 		if err != nil {
-			return nil, err
+			return nil, types.NoProcess, 0, err
 		}
-		decided, err := l.runSlot(ctx, inst, proposer, blob)
+		runCtx, stopFence := fenceContext(ctx, epochCtx)
+		decided, err := l.runSlot(runCtx, inst, proposer, blob)
+		stopFence()
 		inst.Close()
-		if err != nil {
-			lastErr = err
+		if err == nil {
+			l.noteRecovery(decided, noop)
+			return decided, proposer, epoch, nil
+		}
+		if ctx.Err() != nil {
+			return nil, types.NoProcess, 0, err
+		}
+		if epochCtx.Err() != nil && epochRetries < epochRetryBound {
+			// Fenced by yet another takeover, not failed: re-run under the
+			// new epoch's holder without consuming a recovery attempt.
+			epochRetries++
 			continue
 		}
-		l.noteRecovery(decided, noop)
-		return decided, nil
+		attempt++
+		lastErr = err
 	}
-	return nil, lastErr
+	return nil, types.NoProcess, 0, lastErr
 }
 
 // recoveryProposer picks the process that re-runs an ambiguous slot: the
-// first replica that is not the regular leader, so its proposal runs the
-// full first phase (adopting any durable value) instead of the leader's
-// skip-phase-1 fast path. A single-process group falls back to the leader.
-func (l *Log) recoveryProposer() types.ProcID {
-	leader := l.cluster.Leader()
+// current lease holder when it is not the proposer whose attempt went
+// ambiguous (the post-takeover fencing case), else the first replica other
+// than that proposer — either way the recovery proposal runs the full first
+// phase (permission steal plus adoption of any durable value) instead of a
+// skip-phase-1 fast path. A single-process group falls back to the original
+// proposer.
+func (l *Log) recoveryProposer(holder, original types.ProcID) types.ProcID {
+	if holder != types.NoProcess && holder != original {
+		return holder
+	}
 	for _, p := range l.cluster.Procs {
-		if p != leader {
+		if p != original {
 			return p
 		}
 	}
-	return leader
+	return original
 }
 
 // noteRecovery bumps the recovery counters: every recovered slot counts, and
@@ -1153,10 +1505,10 @@ func (l *Log) recordReplica(p types.ProcID, slot uint64, v types.Value) {
 }
 
 // recordSlot appends the decided batch to the committed log, applies it to
-// the authoritative state machine, takes a snapshot if the interval is due,
-// and resolves the waiters whose commands it contains. It reports whether the
-// proposed batch won the slot.
-func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued) (bool, error) {
+// the authoritative state machine, records who decided the slot under which
+// epoch, and resolves the waiters whose commands it contains. It reports
+// whether the proposed batch won the slot.
+func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by SlotDecider) (bool, error) {
 	b, err := decodeBatch(decided)
 	if err != nil {
 		return false, fmt.Errorf("smr slot %d: %w", slot, err)
@@ -1164,6 +1516,7 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued) (bool,
 
 	l.mu.Lock()
 	l.slots = append(l.slots, decided.Clone())
+	l.deciders[slot] = by
 	l.sinceSlots++
 	committed := make([]Entry, 0, len(b.Cmds))
 	results := make([]proposeResult, 0, len(b.Cmds))
@@ -1330,6 +1683,11 @@ func (l *Log) truncateLocked() (releaseFrom, lastSlot uint64) {
 	l.entries = nil
 	l.firstSlot = lastSlot + 1
 	l.slots = nil
+	for slot := range l.deciders {
+		if slot < l.firstSlot {
+			delete(l.deciders, slot)
+		}
+	}
 	for _, view := range l.replicas {
 		for slot := range view.learned {
 			if slot < l.firstSlot {

@@ -17,6 +17,17 @@ var (
 	// ErrNotQueryable is returned by Read, ReadFrom and StaleRead when the
 	// group's state machine does not implement Querier.
 	ErrNotQueryable = errors.New("smr: state machine does not implement Querier")
+	// ErrLeaseLost is the typed retryable error returned to waiters whose
+	// batch was displaced by leadership changes without committing: a
+	// takeover fences the epoch the batch was proposed under, and the
+	// fencing no-ops can win its slots. A takeover-displaced batch is
+	// retried at a later slot exactly once; displaced by a takeover again,
+	// its waiters get this error instead of an unbounded chase. The command
+	// provably did NOT commit, so resubmitting it is safe. Displacement by
+	// plain timeout recovery — no leadership change involved — never counts:
+	// such a batch is re-dispatched until it commits, exactly as before
+	// leases.
+	ErrLeaseLost = errors.New("smr: command displaced by a leadership change; safe to retry")
 )
 
 // StateMachine is the application contract of a replicated log group: the

@@ -179,9 +179,14 @@ func (kv *ShardedKV) Get(key string) (string, bool) {
 	return v, found
 }
 
-// GetLinearizable returns the value of key through a read-index barrier on
-// the owning shard: it observes every Put that returned before the call
-// started, wherever it was issued.
+// GetLinearizable returns the value of key with a full linearizability
+// guarantee: it observes every Put that returned before the call started,
+// wherever it was issued. While the owning shard's leader holds an unexpired
+// lease (Options.LeaseDuration > 0) the read is served locally with ZERO
+// consensus slots — the lease fast path — and only falls back to the
+// read-index barrier (one no-op slot commit, or a ride on a concurrent
+// batch) when the lease is absent, expired or in doubt. LogStats splits the
+// two paths into LeaseReads and BarrierReads.
 func (kv *ShardedKV) GetLinearizable(ctx context.Context, key string) (string, bool, error) {
 	resp, err := kv.s.Read(ctx, key, []byte(key))
 	if err != nil {

@@ -1,6 +1,7 @@
 package rdmaagreement
 
 import (
+	"rdmaagreement/internal/omega"
 	"rdmaagreement/internal/shard"
 	"rdmaagreement/internal/smr"
 )
@@ -8,9 +9,11 @@ import (
 // Log is a replicated state-machine group: one long-lived cluster serving an
 // unbounded sequence of consensus instances (slots), with command batching,
 // pipelined slot commit (LogOptions.Pipeline slots in flight, applied
-// gap-free in slot order), ambiguous-slot recovery, a pluggable
-// StateMachine, linearizable reads and snapshot-driven slot GC. See package
-// smr for the semantics.
+// gap-free in slot order), ambiguous-slot recovery, leader leases (the
+// proposer role follows the cluster's lease, reads under a healthy lease
+// serve locally with zero slots, and a stalled holder is replaced under a
+// bumped, fenced epoch), a pluggable StateMachine, linearizable reads and
+// snapshot-driven slot GC. See package smr for the semantics.
 type Log = smr.Log
 
 // LogOptions configure a Log.
@@ -19,12 +22,21 @@ type LogOptions = smr.Options
 // LogEntry is one committed command of a Log.
 type LogEntry = smr.Entry
 
-// LogStats are a group's ambiguous-slot recovery counters (Log.Stats,
+// LogStats are a group's recovery, lease and pipeline counters (Log.Stats,
 // Sharded.Stats): Recovered counts slots whose timed-out agreement was
 // resolved by a no-op recovery round instead of halting the group, Refused
 // the subset where the no-op lost because the original batch had persisted
-// and was re-decided.
+// and was re-decided; Epoch/Takeovers report the lease view (current epoch,
+// takeovers so far), LeaseReads/BarrierReads split the linearizable reads
+// into lease-served (zero slots) and read-index-barrier ones, and
+// PipelineDepth/PipelineBackoffs surface the adaptive slot pipeline.
 type LogStats = smr.Stats
+
+// Lease is an epoch-stamped, time-bounded leadership grant of a cluster
+// (Cluster.Lease): who may propose — and serve local linearizable reads —
+// until when, under which fencing epoch. Enable leases with
+// Options.LeaseDuration.
+type Lease = omega.Lease
 
 // StateMachine is the pluggable application contract of a replicated log
 // group: Apply consumes committed entries and produces Propose responses,
@@ -45,6 +57,11 @@ var (
 	// ErrNotQueryable is returned by reads when the group's state machine
 	// does not implement Querier.
 	ErrNotQueryable = smr.ErrNotQueryable
+	// ErrLeaseLost is the typed retryable error returned to waiters whose
+	// command was displaced from its slots by a leadership change without
+	// committing: the command provably did not commit and is safe to
+	// resubmit.
+	ErrLeaseLost = smr.ErrLeaseLost
 )
 
 // NewLog builds a replicated state-machine group over one long-lived cluster

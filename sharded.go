@@ -120,15 +120,26 @@ func (s *Sharded) ShardLog(name string) *smr.Log { return s.logs[name] }
 // Shards returns the shard names in stable order.
 func (s *Sharded) Shards() []string { return s.ring.Shards() }
 
-// Stats sums the ambiguous-slot recovery counters across all shards: how
-// many slots were recovered instead of halting a group, and how many of
-// those re-decided a persisted original batch.
+// Stats aggregates the per-shard counters: recovery, takeover and read
+// counters are summed across shards; Epoch is the MAXIMUM shard epoch (the
+// most-failed-over group) and PipelineDepth the MINIMUM adaptive depth (the
+// most-backed-off group) — sums would be meaningless for either.
 func (s *Sharded) Stats() LogStats {
 	var total LogStats
 	for _, l := range s.logs {
 		stats := l.Stats()
 		total.Recovered += stats.Recovered
 		total.Refused += stats.Refused
+		total.Takeovers += stats.Takeovers
+		total.LeaseReads += stats.LeaseReads
+		total.BarrierReads += stats.BarrierReads
+		total.PipelineBackoffs += stats.PipelineBackoffs
+		if stats.Epoch > total.Epoch {
+			total.Epoch = stats.Epoch
+		}
+		if total.PipelineDepth == 0 || stats.PipelineDepth < total.PipelineDepth {
+			total.PipelineDepth = stats.PipelineDepth
+		}
 	}
 	return total
 }
