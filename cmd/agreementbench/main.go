@@ -9,10 +9,13 @@
 // slot pipeline depth, -lease enables leader leases (linearizable reads then
 // serve locally while the lease is healthy, counted as lease vs barrier
 // reads), -failover stalls a lease holder after the workload and reports the
-// measured failover time, and -json writes the run's results as a
-// machine-readable record for CI. -compare gates two such records against
-// each other on appends/sec or, with -metric reads, on linearizable reads/sec
-// (the bench-smoke CI job uses both to fail on regressions).
+// measured failover time, -rebalance adds a shard mid-workload and reports
+// the live handoff (moved keys, forwarded ops, throughput dip, lost/forked-
+// key audit), and -json writes the run's results as a machine-readable
+// record for CI. -compare gates two such records against each other on
+// appends/sec or, with -metric reads, on linearizable reads/sec (the
+// bench-smoke CI job uses both to fail on regressions, and additionally
+// floors the current run against the committed BENCH_baseline.json).
 //
 // Usage:
 //
@@ -25,6 +28,7 @@
 //	agreementbench -shards 2 -reads 200 -lease 250ms   # lease-served linearizable reads
 //	agreementbench -shards 1 -lease 250ms -failover    # measured lease failover time
 //	agreementbench -shards 1 -pipeline 4 -json out.json   # pipelined commit, JSON record
+//	agreementbench -shards 2 -rebalance -json out.json    # live shard add: handoff + audit
 //	agreementbench -compare base.json new.json   # exit 3 unless new appends faster than base
 //	agreementbench -compare -metric reads barrier.json lease.json   # gate on reads/sec
 //
@@ -45,6 +49,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdmaagreement"
@@ -76,6 +81,7 @@ func run() int {
 	pipeline := flag.Int("pipeline", 0, "throughput mode: slots in flight per group (0 = smr default, 1 = serial commit)")
 	lease := flag.Duration("lease", 0, "throughput mode: leader lease duration per group (0 = leases disabled; linearizable reads then pay the read-index barrier)")
 	failover := flag.Bool("failover", false, "throughput mode: after the workload, stall one group's lease holder and report the measured failover time (requires -lease)")
+	rebalance := flag.Bool("rebalance", false, "throughput mode: mid-workload, add one shard under live traffic and report the handoff (moved keys, forwarded ops, throughput dip) plus a lost/forked-key audit")
 	jsonPath := flag.String("json", "", "throughput mode: also write the results as JSON to this file")
 	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new beats base on -metric by -min-speedup")
 	metric := flag.String("metric", "appends", "compare mode: which rate to gate on, 'appends' (appends/sec) or 'reads' (linearizable reads/sec)")
@@ -105,22 +111,32 @@ func run() int {
 		flag.Usage()
 		return exitUsage
 	}
+	if *rebalance && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "agreementbench: -rebalance requires -shards (it adds one to a running sharded store)")
+		flag.Usage()
+		return exitUsage
+	}
 
+	cfg := throughputConfig{
+		Shards:       *shards,
+		Batch:        *batch,
+		Ops:          *ops,
+		Clients:      *clients,
+		Latency:      *latency,
+		Reads:        *reads,
+		SnapInterval: *snapInterval,
+		Pipeline:     *pipeline,
+		Lease:        *lease,
+		Failover:     *failover,
+		Rebalance:    *rebalance,
+	}
 	var err error
-	if *shards > 0 {
-		err = runThroughput(throughputConfig{
-			Shards:       *shards,
-			Batch:        *batch,
-			Ops:          *ops,
-			Clients:      *clients,
-			Latency:      *latency,
-			Reads:        *reads,
-			SnapInterval: *snapInterval,
-			Pipeline:     *pipeline,
-			Lease:        *lease,
-			Failover:     *failover,
-		}, *jsonPath)
-	} else {
+	switch {
+	case *rebalance:
+		err = runRebalance(cfg, *jsonPath)
+	case *shards > 0:
+		err = runThroughput(cfg, *jsonPath)
+	default:
 		err = runTables(*table)
 	}
 	if err != nil {
@@ -170,6 +186,7 @@ type throughputConfig struct {
 	Pipeline     int           `json:"pipeline"`
 	Lease        time.Duration `json:"lease_ns"`
 	Failover     bool          `json:"failover"`
+	Rebalance    bool          `json:"rebalance"`
 }
 
 // throughputResult is the machine-readable record -json writes and -compare
@@ -199,6 +216,18 @@ type throughputResult struct {
 	// first command committed under the new epoch.
 	FailoverEpochMS  float64 `json:"failover_epoch_ms,omitempty"`
 	FailoverCommitMS float64 `json:"failover_commit_ms,omitempty"`
+	// Rebalance audit (-rebalance): the AddShard handoff's span, the keys it
+	// migrated, the operations its moving ranges forwarded, the put rate in
+	// the sampling windows before/during/after it — and the safety audit,
+	// which must report zero lost and zero forked keys.
+	RebalanceHandoffMS  float64 `json:"rebalance_handoff_ms,omitempty"`
+	RebalanceMovedKeys  uint64  `json:"rebalance_moved_keys,omitempty"`
+	RebalanceForwarded  uint64  `json:"rebalance_forwarded_ops,omitempty"`
+	RebalanceRateBefore float64 `json:"rebalance_rate_before,omitempty"`
+	RebalanceRateDuring float64 `json:"rebalance_rate_during,omitempty"`
+	RebalanceRateAfter  float64 `json:"rebalance_rate_after,omitempty"`
+	RebalanceLostKeys   int     `json:"rebalance_lost_keys"`
+	RebalanceForkedKeys int     `json:"rebalance_forked_keys"`
 }
 
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
@@ -402,6 +431,264 @@ producer:
 		}
 	}
 	return nil
+}
+
+// runRebalance drives a continuous put workload over a sharded KV and, once
+// ~40% of the ops have committed, grows the ring by one shard under the live
+// traffic. It reports the handoff's span, the keys it migrated, the
+// operations forwarded to new owners, the put rate before/during/after the
+// handoff (the throughput dip), and a safety audit: every acknowledged key
+// must still be readable with its value (no lost keys) and live in exactly
+// one group's machine (no forked keys).
+func runRebalance(cfg throughputConfig, jsonPath string) error {
+	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
+		Shards: cfg.Shards,
+		Log: rdmaagreement.LogOptions{
+			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
+			MaxBatch:         cfg.Batch,
+			Pipeline:         cfg.Pipeline,
+			SnapshotInterval: cfg.SnapInterval,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer kv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	var (
+		committed atomic.Int64
+		ackedMu   sync.Mutex
+		acked     = make(map[string]string, cfg.Ops)
+	)
+
+	// Sampler: the committed count every 100ms, so the handoff window's rate
+	// can be compared against steady state.
+	samples := []sample{}
+	sampleStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case at := <-tick.C:
+				samples = append(samples, sample{at: at, n: committed.Load()})
+			}
+		}
+	}()
+
+	// Rebalancer: once 40% of the ops have committed, add one shard.
+	newShard := fmt.Sprintf("shard-%d", cfg.Shards)
+	var (
+		rebalanceErr           error
+		handoffFrom, handoffTo time.Time
+		rebalancerWG           sync.WaitGroup
+	)
+	workloadDone := make(chan struct{})
+	rebalancerWG.Add(1)
+	go func() {
+		defer rebalancerWG.Done()
+		trigger := int64(cfg.Ops * 2 / 5)
+		for committed.Load() < trigger {
+			select {
+			case <-workloadDone:
+				return // the workload outran the trigger; rebalance on quiet traffic below
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		handoffFrom = time.Now()
+		rebalanceErr = kv.AddShard(ctx, newShard)
+		handoffTo = time.Now()
+	}()
+
+	work := make(chan int)
+	errs := make(chan error, cfg.Clients)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				key, value := fmt.Sprintf("key/%d", i), fmt.Sprintf("v%d", i)
+				if _, _, err := kv.Put(ctx, key, value); err != nil {
+					errs <- err
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+				committed.Add(1)
+				ackedMu.Lock()
+				acked[key] = value
+				ackedMu.Unlock()
+			}
+		}()
+	}
+producer:
+	for i := 0; i < cfg.Ops; i++ {
+		select {
+		case work <- i:
+		case <-stop:
+			break producer
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(workloadDone)
+	rebalancerWG.Wait()
+	close(sampleStop)
+	samplerWG.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("rebalance put: %w", err)
+	}
+	if handoffFrom.IsZero() {
+		// The workload never reached the trigger (tiny -ops): hand off on
+		// quiet traffic so the audit still runs.
+		handoffFrom = time.Now()
+		rebalanceErr = kv.AddShard(ctx, newShard)
+		handoffTo = time.Now()
+	}
+	if rebalanceErr != nil {
+		return fmt.Errorf("AddShard(%s) under live traffic: %w", newShard, rebalanceErr)
+	}
+
+	stats := kv.Stats()
+	result := throughputResult{
+		Config:             cfg,
+		ElapsedMS:          float64(elapsed) / float64(time.Millisecond),
+		AppendsPerSec:      float64(cfg.Ops) / elapsed.Seconds(),
+		Recovered:          stats.Recovered,
+		Refused:            stats.Refused,
+		Epoch:              stats.Epoch,
+		Takeovers:          stats.Takeovers,
+		RebalanceHandoffMS: millis(handoffTo.Sub(handoffFrom)),
+		RebalanceMovedKeys: stats.Migrated,
+		RebalanceForwarded: stats.Forwarded,
+	}
+	result.RebalanceRateBefore, result.RebalanceRateDuring, result.RebalanceRateAfter =
+		windowRates(samples, handoffFrom, handoffTo)
+
+	// Safety audit: no acknowledged key lost, none forked across groups. The
+	// per-group probe is a RAW (untagged) query, which bypasses the routing
+	// layer and the ownership gate and therefore sees each machine's true
+	// contents, hidden ceded state included.
+	for key, want := range acked {
+		if v, ok, err := kv.GetLinearizable(ctx, key); err != nil || !ok || v != want {
+			result.RebalanceLostKeys++
+			continue
+		}
+		homes := 0
+		for _, name := range kv.Shards() {
+			resp, err := kv.ShardLog(name).Read(ctx, []byte(key))
+			if err != nil {
+				return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
+			}
+			var probe struct {
+				Found bool `json:"found"`
+			}
+			if err := json.Unmarshal(resp, &probe); err != nil {
+				return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
+			}
+			if probe.Found {
+				homes++
+			}
+		}
+		if homes > 1 {
+			result.RebalanceForkedKeys++
+		}
+	}
+
+	fmt.Printf("live rebalance — %d→%d groups, %d clients, batch ≤ %d, memory latency %s, lease %s\n",
+		cfg.Shards, cfg.Shards+1, cfg.Clients, cfg.Batch, cfg.Latency, leaseLabel(cfg.Lease))
+	fmt.Printf("  committed %d puts in %s (%.0f appends/sec aggregate); AddShard(%s) took %s mid-workload\n",
+		cfg.Ops, elapsed.Round(time.Millisecond), result.AppendsPerSec, newShard,
+		handoffTo.Sub(handoffFrom).Round(time.Millisecond))
+	fmt.Printf("  handoff: %d keys migrated (≈1/%d of the key space expected), %d ops forwarded to new owners\n",
+		result.RebalanceMovedKeys, cfg.Shards+1, result.RebalanceForwarded)
+	if result.RebalanceRateBefore > 0 && result.RebalanceRateDuring > 0 {
+		fmt.Printf("  throughput: %.0f puts/sec before, %.0f during the handoff (%.0f%% dip), %.0f after\n",
+			result.RebalanceRateBefore, result.RebalanceRateDuring,
+			100*(1-result.RebalanceRateDuring/result.RebalanceRateBefore), result.RebalanceRateAfter)
+	}
+	fmt.Printf("  audit: %d acked keys checked — %d lost, %d forked\n",
+		len(acked), result.RebalanceLostKeys, result.RebalanceForkedKeys)
+	for _, name := range kv.Shards() {
+		l := kv.ShardLog(name)
+		fmt.Printf("  %s: %d entries over %d slots\n", name, l.Len(), l.Slots())
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode result: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+	}
+	if result.RebalanceLostKeys > 0 || result.RebalanceForkedKeys > 0 {
+		return fmt.Errorf("rebalance audit failed: %d lost, %d forked keys", result.RebalanceLostKeys, result.RebalanceForkedKeys)
+	}
+	return nil
+}
+
+// sample is one sampler reading: the cumulative committed count at an
+// instant.
+type sample struct {
+	at time.Time
+	n  int64
+}
+
+// windowRates turns the sampler's cumulative counts into put rates for the
+// spans before, during and after the handoff: mean rate over the fully-before
+// and fully-after windows, MINIMUM windowed rate during (the dip is the
+// point). Phases without a complete sampling window report 0.
+func windowRates(samples []sample, from, to time.Time) (before, during, after float64) {
+	var (
+		beforeOps, afterOps int64
+		beforeDur, afterDur time.Duration
+		duringMin           = -1.0
+	)
+	for i := 1; i < len(samples); i++ {
+		prev, cur := samples[i-1], samples[i]
+		dt := cur.at.Sub(prev.at)
+		if dt <= 0 {
+			continue
+		}
+		rate := float64(cur.n-prev.n) / dt.Seconds()
+		switch {
+		case !cur.at.After(from):
+			beforeOps += cur.n - prev.n
+			beforeDur += dt
+		case !prev.at.Before(to):
+			afterOps += cur.n - prev.n
+			afterDur += dt
+		default:
+			if duringMin < 0 || rate < duringMin {
+				duringMin = rate
+			}
+		}
+	}
+	if beforeDur > 0 {
+		before = float64(beforeOps) / beforeDur.Seconds()
+	}
+	if afterDur > 0 {
+		after = float64(afterOps) / afterDur.Seconds()
+	}
+	if duringMin >= 0 {
+		during = duringMin
+	}
+	return before, during, after
 }
 
 func pipelineLabel(pipeline int) string {

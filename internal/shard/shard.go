@@ -25,10 +25,15 @@ import (
 // percent for realistic key counts.
 const DefaultVirtualNodes = 160
 
-// Ring is an immutable-by-convention consistent-hash ring: Add and Remove
-// mutate it, Shard only reads. It is not safe for concurrent mutation; wrap
-// it in a lock or treat it as fixed after construction (the sharded KV does
-// the latter).
+// Ring is a consistent-hash ring with a copy-on-write mutation contract:
+// Add and Remove REBUILD the ring's backing arrays into fresh slices, so any
+// reader that captured the previous arrays (a concurrent Shard call, a
+// Shards() snapshot taken before the mutation) keeps observing the old,
+// internally consistent ring — never a torn mix of both. Mutations are still
+// not atomic with respect to each other or to readers of the same *Ring
+// value; a concurrently mutated ring must be handled clone-and-swap style:
+// next := r.Clone(); next.Add(...); then publish next under a lock, exactly
+// what the sharded layer's rebalancer does.
 type Ring struct {
 	vnodes int
 	points []point  // sorted by hash, ties broken by shard name
@@ -64,30 +69,62 @@ func (r *Ring) Shards() []string {
 // Size returns the number of shards.
 func (r *Ring) Size() int { return len(r.shards) }
 
+// Clone returns an independent deep copy: mutating the clone (or the
+// original) never touches the other's backing arrays. It is the first half of
+// the clone-and-swap pattern rebalancers use to mutate a ring that concurrent
+// readers still hold.
+func (r *Ring) Clone() *Ring {
+	return &Ring{
+		vnodes: r.vnodes,
+		points: append([]point(nil), r.points...),
+		shards: append([]string(nil), r.shards...),
+	}
+}
+
+// VirtualNodes returns the ring's virtual-node count per shard (after
+// defaulting), so a ring of identical geometry can be rebuilt elsewhere from
+// (Shards(), VirtualNodes()) alone — how migration commands carry a ring
+// config through a replicated log.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
 // Add inserts a shard into the ring. Adding an existing shard is a no-op.
+// Per the copy-on-write contract, the shard and point arrays are rebuilt into
+// fresh slices rather than mutated in place.
 func (r *Ring) Add(shard string) {
 	i := sort.SearchStrings(r.shards, shard)
 	if i < len(r.shards) && r.shards[i] == shard {
 		return
 	}
-	r.shards = append(r.shards, "")
-	copy(r.shards[i+1:], r.shards[i:])
-	r.shards[i] = shard
+	shards := make([]string, 0, len(r.shards)+1)
+	shards = append(shards, r.shards[:i]...)
+	shards = append(shards, shard)
+	shards = append(shards, r.shards[i:]...)
+	r.shards = shards
 
+	points := make([]point, 0, len(r.points)+r.vnodes)
+	points = append(points, r.points...)
 	for v := 0; v < r.vnodes; v++ {
-		r.points = append(r.points, point{hash: hashKey(vnodeName(shard, v)), shard: shard})
+		points = append(points, point{hash: hashKey(vnodeName(shard, v)), shard: shard})
 	}
+	r.points = points
 	r.sortPoints()
 }
 
 // Remove deletes a shard from the ring. Removing an unknown shard is a no-op.
+// The surviving points are rebuilt into a fresh slice — never filtered in
+// place — so a reader holding the pre-Remove point array (via a concurrent
+// Shard call or an earlier ring view) cannot observe torn state.
 func (r *Ring) Remove(shard string) {
 	i := sort.SearchStrings(r.shards, shard)
 	if i >= len(r.shards) || r.shards[i] != shard {
 		return
 	}
-	r.shards = append(r.shards[:i], r.shards[i+1:]...)
-	kept := r.points[:0]
+	shards := make([]string, 0, len(r.shards)-1)
+	shards = append(shards, r.shards[:i]...)
+	shards = append(shards, r.shards[i+1:]...)
+	r.shards = shards
+
+	kept := make([]point, 0, len(r.points))
 	for _, pt := range r.points {
 		if pt.shard != shard {
 			kept = append(kept, pt)
@@ -98,16 +135,53 @@ func (r *Ring) Remove(shard string) {
 
 // Shard returns the shard responsible for key: the first virtual node at or
 // clockwise after the key's hash. It returns "" on an empty ring.
-func (r *Ring) Shard(key string) string {
+func (r *Ring) Shard(key string) string { return r.ShardAt(hashKey(key)) }
+
+// ShardAt returns the shard owning the circle position h — the primitive
+// behind Shard and behind the ring-diff helpers (Ceders, Moved). It returns
+// "" on an empty ring.
+func (r *Ring) ShardAt(h uint64) string {
 	if len(r.points) == 0 {
 		return ""
 	}
-	h := hashKey(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap around the circle
 	}
 	return r.points[i].shard
+}
+
+// Moved reports whether key's owner changes when the ring changes from old to
+// next, returning both owners. It is the per-key form of the ring diff: the
+// set of keys that must be handed off by a rebalance is exactly the set for
+// which Moved reports true.
+func Moved(old, next *Ring, key string) (from, to string, moved bool) {
+	from, to = old.Shard(key), next.Shard(key)
+	return from, to, from != to
+}
+
+// Ceders returns, in sorted order, the shards that cede key ranges when the
+// ring changes from old to next: every shard owning an arc of the old ring
+// whose owner differs in the new one. A rebalancer drains exactly these
+// groups. Ownership is piecewise-constant between virtual-node positions, so
+// comparing the owners at every position of both rings covers every arc of
+// their common refinement — no key hash can change owners without some
+// boundary position changing owners too.
+func Ceders(old, next *Ring) []string {
+	set := make(map[string]bool)
+	for _, r := range []*Ring{old, next} {
+		for _, pt := range r.points {
+			if from, to := old.ShardAt(pt.hash), next.ShardAt(pt.hash); from != to && from != "" {
+				set[from] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // sortPoints restores the ring order: by hash, with the shard name breaking

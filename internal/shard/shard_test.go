@@ -101,6 +101,107 @@ func TestMinimalMovementOnRemove(t *testing.T) {
 	}
 }
 
+// TestCloneIsIndependent pins the clone-and-swap contract: mutating a clone
+// never disturbs the original (and vice versa), which is what lets a
+// rebalancer build the next ring while readers keep routing on the current
+// one.
+func TestCloneIsIndependent(t *testing.T) {
+	orig := New(ShardNames(4), 0)
+	next := orig.Clone()
+	next.Add("shard-4")
+	next.Remove("shard-0")
+
+	ref := New(ShardNames(4), 0)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got, want := orig.Shard(key), ref.Shard(key); got != want {
+			t.Fatalf("mutating the clone changed the original's route for %q: %q, want %q", key, got, want)
+		}
+	}
+	if orig.Size() != 4 || next.Size() != 4 {
+		t.Fatalf("sizes after clone mutation: orig %d next %d, want 4 and 4", orig.Size(), next.Size())
+	}
+}
+
+// TestRemoveCopiesPoints pins the copy-on-write contract the doc promises:
+// Remove must rebuild the surviving points into a fresh slice, so a reader
+// that captured the ring's state before the Remove keeps observing the old,
+// consistent ring — in-place filtering would shuffle survivors down the SAME
+// backing array under the reader's feet.
+func TestRemoveCopiesPoints(t *testing.T) {
+	r := New(ShardNames(5), 32)
+	before := r.Clone() // shares nothing, records the pre-Remove routes
+	beforePoints := r.points
+	r.Remove("shard-2")
+	for i, pt := range beforePoints {
+		if pt != before.points[i] {
+			t.Fatalf("Remove mutated the old backing array at %d: %+v, want %+v", i, pt, before.points[i])
+		}
+	}
+	// And the survivor really is gone from the rebuilt ring.
+	for _, pt := range r.points {
+		if pt.shard == "shard-2" {
+			t.Fatalf("removed shard still owns point %d", pt.hash)
+		}
+	}
+}
+
+// TestCedersMatchesMovedKeys asserts the ring-diff API agrees with the ground
+// truth: the set of shards Ceders reports for a ring change equals the set of
+// old owners of the keys that actually change owner, and every key Moved
+// reports lands where the new ring routes it.
+func TestCedersMatchesMovedKeys(t *testing.T) {
+	const keys = 20000
+	cases := []struct {
+		name string
+		old  *Ring
+		next *Ring
+	}{
+		{"add", New(ShardNames(4), 0), New(append(ShardNames(4), "shard-4"), 0)},
+		{"remove", New(ShardNames(5), 0), New(ShardNames(4), 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			predicted := make(map[string]bool)
+			for _, c := range Ceders(tc.old, tc.next) {
+				predicted[c] = true
+			}
+			actual := make(map[string]bool)
+			moved := 0
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("user/%d/cart", i)
+				from, to, m := Moved(tc.old, tc.next, key)
+				if !m {
+					if from != to {
+						t.Fatalf("Moved(%q) = false with owners %q -> %q", key, from, to)
+					}
+					continue
+				}
+				moved++
+				actual[from] = true
+				if want := tc.next.Shard(key); to != want {
+					t.Fatalf("Moved(%q) reports destination %q, new ring routes to %q", key, to, want)
+				}
+				if !predicted[from] {
+					t.Fatalf("key %q moves out of %q, which Ceders did not report (%v)", key, from, Ceders(tc.old, tc.next))
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("no key moved across the %s change", tc.name)
+			}
+			// Every predicted ceder must actually cede at least one key at
+			// this key count — a ceder owns whole arcs, and 20k keys hit
+			// every arc of a ≤5-shard default-vnode ring with overwhelming
+			// probability.
+			for c := range predicted {
+				if !actual[c] {
+					t.Errorf("Ceders reports %q but no sampled key moved out of it", c)
+				}
+			}
+		})
+	}
+}
+
 // TestEmptyAndSingle covers the degenerate rings.
 func TestEmptyAndSingle(t *testing.T) {
 	empty := New(nil, 0)

@@ -123,7 +123,8 @@ type Options struct {
 	// OnCommit, if set, is called once per committed entry in index order
 	// from the committer goroutine. Callbacks must be fast; they serialize
 	// the log. State machines should be plugged in via NewSM; OnCommit is an
-	// observability hook, not the application path.
+	// observability hook, not the application path. Entry.Rejected tells the
+	// hook whether Apply refused the entry (committed but no state changed).
 	OnCommit func(Entry)
 }
 
@@ -168,6 +169,13 @@ type Entry struct {
 	Slot uint64
 	// Cmd is the command payload.
 	Cmd []byte
+	// Rejected records that StateMachine.Apply refused this entry (an
+	// application-level rejection: the entry is committed, every replica
+	// rejects it identically, no state changed). Set on the copies the log
+	// retains and hands to OnCommit — so observers like change feeds can
+	// skip commands that never took effect — not on the Entry passed INTO
+	// Apply.
+	Rejected bool
 }
 
 // wireBatch is the value agreed on per slot: an ordered batch of commands
@@ -237,7 +245,9 @@ type Stats struct {
 	BarrierReads uint64
 	// PipelineDepth is the committer's CURRENT adaptive pipeline depth: at
 	// most Options.Pipeline, halved while slots time out into recovery and
-	// restored stepwise by runs of clean commits.
+	// restored stepwise by runs of clean commits. A closed group reports 0 —
+	// it runs no pipeline at all, which is not the same as being backed off
+	// to depth 1.
 	PipelineDepth int
 	// PipelineBackoffs counts the depth halvings.
 	PipelineBackoffs uint64
@@ -248,6 +258,7 @@ type queued struct {
 	id      uint64
 	cmd     []byte
 	barrier bool
+	bare    bool         // barrier only: no query; resolve with the read index alone
 	query   []byte       // barrier only: query served at the read index
 	replica types.ProcID // barrier only: NoProcess = authoritative machine
 	done    chan proposeResult
@@ -454,6 +465,14 @@ func (l *Log) Close() {
 	l.cancel()
 	l.wg.Wait()
 	l.epochCancel()
+	// A closed group runs no pipeline: zero the adaptive depth (after the
+	// committer exited, so a worker's last report cannot overwrite it) so
+	// aggregators that take a minimum across groups can tell "closed" apart
+	// from "backed off to depth 1" instead of letting a dead shard masquerade
+	// as the most-throttled live one.
+	l.mu.Lock()
+	l.stats.PipelineDepth = 0
+	l.mu.Unlock()
 	for _, q := range pending {
 		q.done <- proposeResult{err: fmt.Errorf("%w before command committed", ErrClosed)}
 	}
@@ -476,7 +495,9 @@ func (l *Log) enqueue(q queued) (queued, error) {
 	l.nextID++
 	q.id = l.nextID
 	q.done = make(chan proposeResult, 1)
-	if q.barrier {
+	if q.barrier && !q.bare {
+		// Bare barriers (Log.Barrier) answer no query; counting them as
+		// barrier READS would skew the lease-vs-barrier read split.
 		l.stats.BarrierReads++
 	}
 	l.pending = append(l.pending, q)
@@ -596,6 +617,35 @@ func (l *Log) tryLeaseReadIndex() (readIndex uint64, handled bool, err error) {
 	return readIndex, true, err
 }
 
+// Barrier commits a pure read-index barrier through the group's slot
+// sequence — a ride on the next write batch's slot, or a dedicated no-op slot
+// when none is queued — and returns the contiguous applied log index it
+// established. When Barrier returns, every command enqueued before it was
+// called has been committed and applied to the authoritative machine.
+//
+// Unlike Read, Barrier never takes the lease fast path: its job is to flush
+// the queue through the log, not to answer a query, and a zero-slot answer
+// would flush nothing. It is the prefix fence of a live shard rebalance (the
+// sharded layer barriers a ceding group immediately before committing its
+// migrate-out command, so the export captures every write routed there before
+// the handoff began), and is useful to any caller that needs "everything
+// before this point is applied" without reading state.
+func (l *Log) Barrier(ctx context.Context) (uint64, error) {
+	q, err := l.enqueue(queued{barrier: true, bare: true, replica: types.NoProcess})
+	if err != nil {
+		return 0, fmt.Errorf("smr barrier: %w", err)
+	}
+	select {
+	case res := <-q.done:
+		if res.err != nil {
+			return 0, fmt.Errorf("smr barrier: %w", res.err)
+		}
+		return res.index, nil
+	case <-ctx.Done():
+		return 0, fmt.Errorf("smr barrier: %w", ctx.Err())
+	}
+}
+
 // ReadFrom serves a linearizable query from replica p's learner view: it
 // establishes the read index exactly like Read — locally under an unexpired
 // lease, through the barrier otherwise — then waits until p's view has
@@ -686,6 +736,45 @@ func (l *Log) StaleRead(p types.ProcID, query []byte) ([]byte, error) {
 	resp, err := querySM(view.sm, query)
 	if err != nil {
 		return nil, fmt.Errorf("smr stale read: %w", err)
+	}
+	return resp, nil
+}
+
+// LocalRead serves a local, possibly-stale query from the freshest replica
+// view the group can vouch for: the lease holder's view while the lease is in
+// force (the lease certifies the holder is alive and applying), otherwise the
+// view with the highest applied index. It exists because "read from
+// Cluster.Leader()" is wrong mid-takeover — a deposed or crashed holder's
+// learner view is frozen, and routing stale reads to it returns state that
+// stops advancing even though other replicas keep applying. Like StaleRead it
+// involves no linearization barrier and stays available on a halted group.
+func (l *Log) LocalRead(query []byte) ([]byte, error) {
+	holder := types.NoProcess
+	if l.leaseValid() {
+		holder = l.cluster.LeaseHolder()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("smr local read: %w", ErrClosed)
+	}
+	view, ok := l.replicas[holder]
+	if !ok {
+		// No valid lease (or an unknown holder): fall back to the
+		// most-applied view, which by definition has observed at least as
+		// much of the log as any other replica.
+		for _, v := range l.replicas {
+			if view == nil || v.nextIndex > view.nextIndex {
+				view = v
+			}
+		}
+		if view == nil {
+			return nil, fmt.Errorf("smr local read: group has no replicas")
+		}
+	}
+	resp, err := querySM(view.sm, query)
+	if err != nil {
+		return nil, fmt.Errorf("smr local read: %w", err)
 	}
 	return resp, nil
 }
@@ -826,7 +915,7 @@ func (l *Log) ReplicaApplied(p types.ProcID) (uint64, bool) {
 }
 
 func cloneEntry(e Entry) Entry {
-	return Entry{Index: e.Index, Slot: e.Slot, Cmd: append([]byte(nil), e.Cmd...)}
+	return Entry{Index: e.Index, Slot: e.Slot, Cmd: append([]byte(nil), e.Cmd...), Rejected: e.Rejected}
 }
 
 // Slots returns the number of decided slots, including truncated ones.
@@ -1402,7 +1491,11 @@ func (l *Log) resolveBarriers(barriers []queued) {
 	readIndex := l.firstIndex + uint64(len(l.entries))
 	results := make([]proposeResult, len(barriers))
 	for i, q := range barriers {
-		if q.replica == types.NoProcess {
+		if q.bare {
+			// Pure barrier (Log.Barrier): the established read index is the
+			// whole answer.
+			results[i] = proposeResult{index: readIndex}
+		} else if q.replica == types.NoProcess {
 			resp, err := querySM(l.sm, q.query)
 			results[i] = proposeResult{index: readIndex, resp: resp, err: err}
 		} else {
@@ -1522,9 +1615,10 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by Slo
 	results := make([]proposeResult, 0, len(b.Cmds))
 	for _, cmd := range b.Cmds {
 		e := Entry{Index: l.firstIndex + uint64(len(l.entries)), Slot: slot, Cmd: append([]byte(nil), cmd...)}
+		resp, applyErr := l.sm.Apply(cloneEntry(e))
+		e.Rejected = applyErr != nil
 		l.entries = append(l.entries, e)
 		committed = append(committed, e)
-		resp, applyErr := l.sm.Apply(cloneEntry(e))
 		l.sinceSnap++
 		results = append(results, proposeResult{index: e.Index, resp: resp, err: applyErr})
 	}

@@ -97,6 +97,47 @@ func (m *kvMachine) Query(query []byte) ([]byte, error) {
 // Snapshot serializes the full store.
 func (m *kvMachine) Snapshot() ([]byte, error) { return json.Marshal(m.state) }
 
+// MigrateOut removes and serializes the keys a rebalance routes elsewhere.
+// Deterministic as the Migrator contract requires: the removal is a pure set
+// operation and json.Marshal emits map keys sorted.
+func (m *kvMachine) MigrateOut(moved func(key string) bool) ([]byte, int, error) {
+	out := make(map[string]string)
+	for k, v := range m.state {
+		if moved(k) {
+			out[k] = v
+			delete(m.state, k)
+		}
+	}
+	if len(out) == 0 {
+		return nil, 0, nil
+	}
+	blob, err := json.Marshal(out)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: migrate out: %w", err)
+	}
+	return blob, len(out), nil
+}
+
+// MigrateIn merges a MigrateOut export, keeping only the keys this group owns
+// under the new ring (a removed shard's export fans out to every survivor).
+func (m *kvMachine) MigrateIn(data []byte, owned func(key string) bool) (int, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	in := make(map[string]string)
+	if err := json.Unmarshal(data, &in); err != nil {
+		return 0, fmt.Errorf("kv: migrate in: %w", err)
+	}
+	n := 0
+	for k, v := range in {
+		if owned(k) {
+			m.state[k] = v
+			n++
+		}
+	}
+	return n, nil
+}
+
 // Restore replaces the store with a snapshot.
 func (m *kvMachine) Restore(snapshot []byte, _ uint64) error {
 	state := make(map[string]string)
@@ -164,9 +205,11 @@ func (kv *ShardedKV) Put(ctx context.Context, key, value string) (string, uint64
 	return name, index, nil
 }
 
-// Get returns the last committed value of key from the owning shard's leader
-// view: local and immediate, but formally a stale read (use GetLinearizable
-// for a read-index guarantee).
+// Get returns the last committed value of key from the owning shard's
+// freshest local replica view — the lease holder's while its lease is in
+// force, otherwise the most-applied view, so a stalled or deposed leader's
+// frozen view never serves it. Local and immediate, but formally a stale
+// read (use GetLinearizable for a full linearizability guarantee).
 func (kv *ShardedKV) Get(key string) (string, bool) {
 	resp, err := kv.s.StaleRead(key, []byte(key))
 	if err != nil {
@@ -195,6 +238,20 @@ func (kv *ShardedKV) GetLinearizable(ctx context.Context, key string) (string, b
 	return decodeKVResult(resp)
 }
 
+// AddShard grows the store by one shard group under live traffic: the moved
+// key ranges (an expected 1/(S+1) fraction) are drained into the new group
+// with no downtime and no lost or forked keys. See Sharded.AddShard for the
+// handoff, forwarding and failure semantics.
+func (kv *ShardedKV) AddShard(ctx context.Context, name string) error {
+	return kv.s.AddShard(ctx, name)
+}
+
+// RemoveShard drains the named shard's whole key space into the surviving
+// groups and retires its log. See Sharded.RemoveShard.
+func (kv *ShardedKV) RemoveShard(ctx context.Context, name string) error {
+	return kv.s.RemoveShard(ctx, name)
+}
+
 // ForeignEntries reports how many committed entries across all shards were
 // skipped because they did not carry the KV wire tag.
 func (kv *ShardedKV) ForeignEntries() int64 { return kv.foreign.Load() }
@@ -212,8 +269,9 @@ func (kv *ShardedKV) Shards() []string { return kv.s.Shards() }
 // Len returns the total number of committed commands across all shards.
 func (kv *ShardedKV) Len() uint64 { return kv.s.Len() }
 
-// Stats sums the ambiguous-slot recovery counters across all shards.
-func (kv *ShardedKV) Stats() LogStats { return kv.s.Stats() }
+// Stats aggregates the per-shard log counters plus the rebalancing view
+// (shards, completed rebalances, migrated keys, forwarded operations).
+func (kv *ShardedKV) Stats() ShardedStats { return kv.s.Stats() }
 
 // Close shuts every shard's log down. Idempotent.
 func (kv *ShardedKV) Close() { kv.s.Close() }

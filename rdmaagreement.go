@@ -18,8 +18,10 @@
 //     pluggable StateMachine (Propose returns the machine's response),
 //     linearizable reads via read-index barriers, and snapshot-driven slot GC
 //     that bounds memory independent of log length — and shard keys across
-//     independent groups on a consistent-hash ring for horizontal throughput.
-//     ShardedKV is the reference StateMachine client.
+//     independent groups on a consistent-hash ring for horizontal throughput,
+//     with live rebalancing (AddShard/RemoveShard drain moved key ranges
+//     through the logs they leave and enter, no downtime, no lost or forked
+//     keys). ShardedKV is the reference StateMachine client.
 //   - Experiments (Experiments, ExperimentIDs): regenerate the tables in
 //     EXPERIMENTS.md that reproduce the paper's quantitative claims.
 //
