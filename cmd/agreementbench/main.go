@@ -17,6 +17,15 @@
 // bench-smoke CI job uses both to fail on regressions, and additionally
 // floors the current run against the committed BENCH_baseline.json).
 //
+// Throughput and rebalance runs also report the slot-lifecycle stage
+// decomposition from the store's built-in metrics registry (batch wait →
+// agreement → commit wait → apply, plus queue-depth high-water marks and
+// allocations per committed op), both on stdout and in the -json record.
+// Profiling hooks: -cpuprofile/-memprofile/-trace-out write pprof/runtime-
+// trace artifacts for the run, and -metrics-addr serves a live debug HTTP
+// endpoint (/metrics Prometheus-style text, /debug/vars expvar,
+// /debug/pprof/ profiles) while the benchmark runs.
+//
 // Usage:
 //
 //	agreementbench                   # run every experiment table
@@ -29,6 +38,8 @@
 //	agreementbench -shards 1 -lease 250ms -failover    # measured lease failover time
 //	agreementbench -shards 1 -pipeline 4 -json out.json   # pipelined commit, JSON record
 //	agreementbench -shards 2 -rebalance -json out.json    # live shard add: handoff + audit
+//	agreementbench -shards 1 -cpuprofile cpu.prof -memprofile mem.prof   # pprof artifacts
+//	agreementbench -shards 4 -metrics-addr localhost:6060   # live /metrics + /debug/pprof/
 //	agreementbench -compare base.json new.json   # exit 3 unless new appends faster than base
 //	agreementbench -compare -metric reads barrier.json lease.json   # gate on reads/sec
 //
@@ -44,9 +55,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,6 +101,10 @@ func run() int {
 	failover := flag.Bool("failover", false, "throughput mode: after the workload, stall one group's lease holder and report the measured failover time (requires -lease)")
 	rebalance := flag.Bool("rebalance", false, "throughput mode: mid-workload, add one shard under live traffic and report the handoff (moved keys, forwarded ops, throughput dip) plus a lost/forked-key audit")
 	jsonPath := flag.String("json", "", "throughput mode: also write the results as JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve a debug HTTP endpoint on this address while the benchmark runs: /metrics (Prometheus-style text), /debug/vars (expvar), /debug/pprof/ (profiles)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
+	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the run to this file (go tool trace)")
 	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new beats base on -metric by -min-speedup")
 	metric := flag.String("metric", "appends", "compare mode: which rate to gate on, 'appends' (appends/sec) or 'reads' (linearizable reads/sec)")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "compare mode: required rate ratio new/base (1.0 = strictly faster)")
@@ -117,6 +139,18 @@ func run() int {
 		return exitUsage
 	}
 
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+			return exitRuntime
+		}
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+		return exitRuntime
+	}
+
 	cfg := throughputConfig{
 		Shards:       *shards,
 		Batch:        *batch,
@@ -130,7 +164,6 @@ func run() int {
 		Failover:     *failover,
 		Rebalance:    *rebalance,
 	}
-	var err error
 	switch {
 	case *rebalance:
 		err = runRebalance(cfg, *jsonPath)
@@ -139,11 +172,117 @@ func run() int {
 	default:
 		err = runTables(*table)
 	}
+	stopProfiles()
+	if *memprofile != "" {
+		if werr := writeHeapProfile(*memprofile); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
 		return exitRuntime
 	}
 	return exitOK
+}
+
+// liveRegistry is the metrics registry of the benchmark currently running, if
+// any, published to the -metrics-addr endpoint. The benchmark stores it once
+// its store is built; the HTTP handlers load it on every request so a scrape
+// before the store exists degrades gracefully instead of crashing.
+var liveRegistry atomic.Pointer[rdmaagreement.MetricsRegistry]
+
+// serveMetrics starts the debug HTTP endpoint: /metrics serves the live
+// registry as Prometheus-style text, /debug/vars is expvar (the registry is
+// published under the "smr" key), /debug/pprof/ the usual runtime profiles.
+// The listener runs for the process's lifetime; the benchmark does not wait
+// for scrapes.
+func serveMetrics(addr string) error {
+	expvar.Publish("smr", expvar.Func(func() any {
+		reg := liveRegistry.Load()
+		if reg == nil {
+			return nil
+		}
+		return reg.Snapshot()
+	}))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := liveRegistry.Load()
+		if reg == nil {
+			http.Error(w, "no benchmark running yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: /metrics write: %v\n", err)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics endpoint: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "agreementbench: debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: metrics endpoint: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// startProfiles begins CPU profiling and runtime tracing as requested and
+// returns the function that stops both (safe to call once, always non-nil).
+func startProfiles(cpuprofile, traceOut string) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for _, f := range stops {
+			f()
+		}
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			stop()
+			return func() {}, fmt.Errorf("trace-out: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return func() {}, fmt.Errorf("trace-out: %w", err)
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	return stop, nil
+}
+
+// writeHeapProfile snapshots the heap after a GC so the profile reflects live
+// objects, not garbage the run already dropped.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 func runTables(which string) error {
@@ -228,6 +367,52 @@ type throughputResult struct {
 	RebalanceRateAfter  float64 `json:"rebalance_rate_after,omitempty"`
 	RebalanceLostKeys   int     `json:"rebalance_lost_keys"`
 	RebalanceForkedKeys int     `json:"rebalance_forked_keys"`
+	// Slot-lifecycle stage decomposition from the store's metrics registry:
+	// where a committed command's end-to-end latency went (waiting to be
+	// batched, the agreement round, waiting for in-order release, apply),
+	// plus the queue-depth high-water marks and the run's heap allocations
+	// per committed op (whole-process, so client bookkeeping is included).
+	StageBatchWaitP50MS  float64 `json:"stage_batch_wait_p50_ms"`
+	StageBatchWaitP99MS  float64 `json:"stage_batch_wait_p99_ms"`
+	StageAgreementP50MS  float64 `json:"stage_agreement_p50_ms"`
+	StageAgreementP99MS  float64 `json:"stage_agreement_p99_ms"`
+	StageCommitWaitP50MS float64 `json:"stage_commit_wait_p50_ms"`
+	StageCommitWaitP99MS float64 `json:"stage_commit_wait_p99_ms"`
+	StageApplyP50MS      float64 `json:"stage_apply_p50_ms"`
+	StageApplyP99MS      float64 `json:"stage_apply_p99_ms"`
+	StageE2EP50MS        float64 `json:"stage_e2e_p50_ms"`
+	StageE2EP99MS        float64 `json:"stage_e2e_p99_ms"`
+	QueueDepthPeak       int64   `json:"queue_depth_peak"`
+	InflightSlotsPeak    int64   `json:"inflight_slots_peak"`
+	ReorderDepthPeak     int64   `json:"reorder_depth_peak"`
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+	BytesPerOp           float64 `json:"bytes_per_op"`
+}
+
+// fillObservability folds the store's slot-lifecycle metrics and the run's
+// allocation deltas into the record and prints the stage breakdown. before /
+// after bracket the put workload; ops normalizes the allocation deltas.
+func fillObservability(r *throughputResult, m rdmaagreement.LogMetrics, before, after runtime.MemStats, ops int) {
+	r.StageBatchWaitP50MS, r.StageBatchWaitP99MS = millis(m.BatchWait.P50), millis(m.BatchWait.P99)
+	r.StageAgreementP50MS, r.StageAgreementP99MS = millis(m.Agreement.P50), millis(m.Agreement.P99)
+	r.StageCommitWaitP50MS, r.StageCommitWaitP99MS = millis(m.CommitWait.P50), millis(m.CommitWait.P99)
+	r.StageApplyP50MS, r.StageApplyP99MS = millis(m.Apply.P50), millis(m.Apply.P99)
+	r.StageE2EP50MS, r.StageE2EP99MS = millis(m.EndToEnd.P50), millis(m.EndToEnd.P99)
+	r.QueueDepthPeak = m.QueueDepth.Peak
+	r.InflightSlotsPeak = m.InflightSlots.Peak
+	r.ReorderDepthPeak = m.ReorderDepth.Peak
+	if ops > 0 {
+		r.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+		r.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	}
+	fmt.Printf("  stages (p50/p99): batch-wait %.3f/%.3fms, agreement %.3f/%.3fms, commit-wait %.3f/%.3fms, apply %.3f/%.3fms — e2e %.3f/%.3fms\n",
+		r.StageBatchWaitP50MS, r.StageBatchWaitP99MS,
+		r.StageAgreementP50MS, r.StageAgreementP99MS,
+		r.StageCommitWaitP50MS, r.StageCommitWaitP99MS,
+		r.StageApplyP50MS, r.StageApplyP99MS,
+		r.StageE2EP50MS, r.StageE2EP99MS)
+	fmt.Printf("  depth peaks: queue %d, inflight slots %d, reorder buffer %d; allocations %.0f/op (%.0f B/op)\n",
+		r.QueueDepthPeak, r.InflightSlotsPeak, r.ReorderDepthPeak, r.AllocsPerOp, r.BytesPerOp)
 }
 
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
@@ -256,6 +441,7 @@ func runThroughput(cfg throughputConfig, jsonPath string) error {
 		return err
 	}
 	defer kv.Close()
+	liveRegistry.Store(kv.Registry())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -266,6 +452,8 @@ func runThroughput(cfg throughputConfig, jsonPath string) error {
 	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	perClient := make([][]time.Duration, cfg.Clients)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -293,6 +481,8 @@ producer:
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(errs)
 	for err := range errs {
 		return fmt.Errorf("throughput put: %w", err)
@@ -347,6 +537,7 @@ producer:
 	result.Recovered, result.Refused = stats.Recovered, stats.Refused
 	fmt.Printf("  pipeline: %d peak concurrent slot instances; recovery: %d slots recovered (%d refused no-ops)\n",
 		result.PeakInstances, stats.Recovered, stats.Refused)
+	fillObservability(&result, kv.Metrics(), memBefore, memAfter, cfg.Ops)
 
 	if cfg.Reads > 0 {
 		keySpace := cfg.Ops
@@ -454,6 +645,7 @@ func runRebalance(cfg throughputConfig, jsonPath string) error {
 		return err
 	}
 	defer kv.Close()
+	liveRegistry.Store(kv.Registry())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -513,24 +705,29 @@ func runRebalance(cfg throughputConfig, jsonPath string) error {
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	var wg sync.WaitGroup
+	perClient := make([][]time.Duration, cfg.Clients)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for i := range work {
 				key, value := fmt.Sprintf("key/%d", i), fmt.Sprintf("v%d", i)
+				t0 := time.Now()
 				if _, _, err := kv.Put(ctx, key, value); err != nil {
 					errs <- err
 					stopOnce.Do(func() { close(stop) })
 					return
 				}
+				perClient[c] = append(perClient[c], time.Since(t0))
 				committed.Add(1)
 				ackedMu.Lock()
 				acked[key] = value
 				ackedMu.Unlock()
 			}
-		}()
+		}(c)
 	}
 producer:
 	for i := 0; i < cfg.Ops; i++ {
@@ -543,6 +740,8 @@ producer:
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(workloadDone)
 	rebalancerWG.Wait()
 	close(sampleStop)
@@ -562,11 +761,19 @@ producer:
 		return fmt.Errorf("AddShard(%s) under live traffic: %w", newShard, rebalanceErr)
 	}
 
+	var appendLat []time.Duration
+	for _, lats := range perClient {
+		appendLat = append(appendLat, lats...)
+	}
+	sort.Slice(appendLat, func(i, j int) bool { return appendLat[i] < appendLat[j] })
+
 	stats := kv.Stats()
 	result := throughputResult{
 		Config:             cfg,
 		ElapsedMS:          float64(elapsed) / float64(time.Millisecond),
 		AppendsPerSec:      float64(cfg.Ops) / elapsed.Seconds(),
+		AppendP50MS:        millis(percentile(appendLat, 50)),
+		AppendP99MS:        millis(percentile(appendLat, 99)),
 		Recovered:          stats.Recovered,
 		Refused:            stats.Refused,
 		Epoch:              stats.Epoch,
@@ -577,6 +784,14 @@ producer:
 	}
 	result.RebalanceRateBefore, result.RebalanceRateDuring, result.RebalanceRateAfter =
 		windowRates(samples, handoffFrom, handoffTo)
+	for _, name := range kv.Shards() {
+		l := kv.ShardLog(name)
+		result.Slots += l.Slots()
+		result.Snapshots += l.Snapshots()
+		result.LiveRegions += l.Cluster().LiveRegions()
+		result.LiveInstances += l.Cluster().LiveInstances()
+		result.PeakInstances += l.Cluster().PeakInstances()
+	}
 
 	// Safety audit: no acknowledged key lost, none forked across groups. The
 	// per-group probe is a RAW (untagged) query, which bypasses the routing
@@ -610,9 +825,10 @@ producer:
 
 	fmt.Printf("live rebalance — %d→%d groups, %d clients, batch ≤ %d, memory latency %s, lease %s\n",
 		cfg.Shards, cfg.Shards+1, cfg.Clients, cfg.Batch, cfg.Latency, leaseLabel(cfg.Lease))
-	fmt.Printf("  committed %d puts in %s (%.0f appends/sec aggregate); AddShard(%s) took %s mid-workload\n",
-		cfg.Ops, elapsed.Round(time.Millisecond), result.AppendsPerSec, newShard,
-		handoffTo.Sub(handoffFrom).Round(time.Millisecond))
+	fmt.Printf("  committed %d puts in %s (%.0f appends/sec aggregate, latency p50 %s / p99 %s); AddShard(%s) took %s mid-workload\n",
+		cfg.Ops, elapsed.Round(time.Millisecond), result.AppendsPerSec,
+		percentile(appendLat, 50).Round(time.Microsecond), percentile(appendLat, 99).Round(time.Microsecond),
+		newShard, handoffTo.Sub(handoffFrom).Round(time.Millisecond))
 	fmt.Printf("  handoff: %d keys migrated (≈1/%d of the key space expected), %d ops forwarded to new owners\n",
 		result.RebalanceMovedKeys, cfg.Shards+1, result.RebalanceForwarded)
 	if result.RebalanceRateBefore > 0 && result.RebalanceRateDuring > 0 {
@@ -626,6 +842,7 @@ producer:
 		l := kv.ShardLog(name)
 		fmt.Printf("  %s: %d entries over %d slots\n", name, l.Len(), l.Slots())
 	}
+	fillObservability(&result, kv.Metrics(), memBefore, memAfter, cfg.Ops)
 
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(result, "", "  ")

@@ -185,13 +185,20 @@ func NewCluster(protocol Protocol, opts Options) (*Cluster, error) {
 	for i := 1; i <= opts.Processes; i++ {
 		procs = append(procs, types.ProcID(i))
 	}
+	leaseOpts := omega.LeaseOptions{Duration: opts.LeaseDuration}
+	if rec := opts.Recorder; rec != nil {
+		leaseOpts.OnTakeover = func(l omega.Lease) {
+			rec.Record(l.Holder, trace.KindLeaseTakeover, nil, l.Stamp,
+				"lease takeover: epoch %d granted to %s", l.Epoch, l.Holder)
+		}
+	}
 	c := &Cluster{
 		Protocol:  protocol,
 		Opts:      opts,
 		Procs:     procs,
 		Network:   netsim.New(netsim.Options{Delay: opts.NetworkDelay}),
 		Ring:      sigs.NewKeyRing(procs),
-		Oracle:    omega.NewLeaseDetector(procs, opts.Leader, omega.LeaseOptions{Duration: opts.LeaseDuration}),
+		Oracle:    omega.NewLeaseDetector(procs, opts.Leader, leaseOpts),
 		proposers: make(map[types.ProcID]Proposer, len(procs)),
 		routers:   make(map[types.ProcID]*netsim.Router, len(procs)),
 	}

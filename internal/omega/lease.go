@@ -48,6 +48,11 @@ type LeaseOptions struct {
 	Duration time.Duration
 	// Now is the wall clock, injectable for tests. Nil means time.Now.
 	Now func() time.Time
+	// OnTakeover, if set, is called with the fresh lease after every epoch
+	// change (election or forced transfer), outside the detector's lock —
+	// the observability hook behind trace lease-takeover events. Callbacks
+	// must be fast; they run on the lease runtime's tick goroutine.
+	OnTakeover func(Lease)
 }
 
 // LeaseDetector is a lease-granting failure detector: the follower side of
@@ -64,15 +69,16 @@ type LeaseOptions struct {
 // renewing and stops being electable, exactly as in a distributed
 // deployment.
 type LeaseDetector struct {
-	mu        sync.Mutex
-	procs     []types.ProcID
-	duration  time.Duration
-	now       func() time.Time
-	clock     delayclock.Clock
-	heard     map[types.ProcID]time.Time // last heartbeat per process
-	lease     Lease
-	takeovers uint64
-	changes   chan struct{} // coalescing epoch-change notification
+	mu         sync.Mutex
+	procs      []types.ProcID
+	duration   time.Duration
+	now        func() time.Time
+	onTakeover func(Lease)
+	clock      delayclock.Clock
+	heard      map[types.ProcID]time.Time // last heartbeat per process
+	lease      Lease
+	takeovers  uint64
+	changes    chan struct{} // coalescing epoch-change notification
 }
 
 var _ Oracle = (*LeaseDetector)(nil)
@@ -88,11 +94,12 @@ func NewLeaseDetector(procs []types.ProcID, holder types.ProcID, opts LeaseOptio
 		opts.Duration = 0
 	}
 	d := &LeaseDetector{
-		procs:    append([]types.ProcID(nil), procs...),
-		duration: opts.Duration,
-		now:      opts.Now,
-		heard:    make(map[types.ProcID]time.Time, len(procs)),
-		changes:  make(chan struct{}, 1),
+		procs:      append([]types.ProcID(nil), procs...),
+		duration:   opts.Duration,
+		now:        opts.Now,
+		onTakeover: opts.OnTakeover,
+		heard:      make(map[types.ProcID]time.Time, len(procs)),
+		changes:    make(chan struct{}, 1),
 	}
 	now := d.now()
 	for _, p := range procs {
@@ -184,6 +191,9 @@ func (d *LeaseDetector) Tick() Lease {
 	lease := d.lease
 	d.mu.Unlock()
 	d.notify()
+	if d.onTakeover != nil {
+		d.onTakeover(lease)
+	}
 	return lease
 }
 
@@ -203,6 +213,9 @@ func (d *LeaseDetector) Transfer(p types.ProcID) Lease {
 	lease := d.lease
 	d.mu.Unlock()
 	d.notify()
+	if d.onTakeover != nil {
+		d.onTakeover(lease)
+	}
 	return lease
 }
 

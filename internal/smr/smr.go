@@ -62,6 +62,8 @@ import (
 	"time"
 
 	"rdmaagreement/internal/core"
+	"rdmaagreement/internal/metrics"
+	"rdmaagreement/internal/trace"
 	"rdmaagreement/internal/types"
 )
 
@@ -126,6 +128,13 @@ type Options struct {
 	// observability hook, not the application path. Entry.Rejected tells the
 	// hook whether Apply refused the entry (committed but no state changed).
 	OnCommit func(Entry)
+	// Metrics is the registry the group's slot-lifecycle instrumentation
+	// records into: per-stage latency histograms, queue-depth gauges and
+	// commit counters (see Metrics and Log.Metrics). Nil means a private
+	// registry per group. Several groups may share one registry — the
+	// sharded layer does — and their counters, histogram buckets and
+	// delta-maintained gauges then aggregate naturally.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) applyDefaults() {
@@ -255,13 +264,14 @@ type Stats struct {
 
 // queued is one command — or one read barrier — waiting for a slot.
 type queued struct {
-	id      uint64
-	cmd     []byte
-	barrier bool
-	bare    bool         // barrier only: no query; resolve with the read index alone
-	query   []byte       // barrier only: query served at the read index
-	replica types.ProcID // barrier only: NoProcess = authoritative machine
-	done    chan proposeResult
+	id         uint64
+	cmd        []byte
+	barrier    bool
+	bare       bool         // barrier only: no query; resolve with the read index alone
+	query      []byte       // barrier only: query served at the read index
+	replica    types.ProcID // barrier only: NoProcess = authoritative machine
+	enqueuedAt time.Time    // when enqueue accepted it (BatchWait/EndToEnd spans)
+	done       chan proposeResult
 }
 
 type proposeResult struct {
@@ -296,6 +306,8 @@ type Log struct {
 	cluster      *core.Cluster
 	origin       uint64
 	leaseEnabled bool // cluster runs time-bounded leases (LeaseDuration > 0)
+
+	m *logMetrics // slot-lifecycle instrumentation; never nil
 
 	mu           sync.Mutex
 	sm           StateMachine // authoritative machine, committer-applied
@@ -369,6 +381,7 @@ func NewLog(opts Options) (*Log, error) {
 		cluster:      cluster,
 		origin:       nextOrigin(),
 		leaseEnabled: opts.Cluster.LeaseDuration > 0,
+		m:            newLogMetrics(opts.Metrics),
 		sm:           opts.NewSM(),
 		deciders:     make(map[uint64]SlotDecider),
 		replicas:     make(map[types.ProcID]*replicaView, len(cluster.Procs)),
@@ -411,11 +424,14 @@ func (l *Log) leaseWatch(ctx context.Context) {
 				l.mu.Unlock()
 				continue
 			}
+			superseded := l.epoch
 			l.holder, l.epoch = lease.Holder, lease.Epoch
 			fence := l.epochCancel
 			l.epochCtx, l.epochCancel = context.WithCancel(context.Background())
 			l.mu.Unlock()
 			fence()
+			l.traceEvent(lease.Holder, trace.KindEpochFence,
+				"epoch %d fenced; committer adopted epoch %d (holder %s)", superseded, lease.Epoch, lease.Holder)
 		}
 	}
 }
@@ -473,6 +489,7 @@ func (l *Log) Close() {
 	l.mu.Lock()
 	l.stats.PipelineDepth = 0
 	l.mu.Unlock()
+	l.m.queueDepth.Add(-int64(len(pending)))
 	for _, q := range pending {
 		q.done <- proposeResult{err: fmt.Errorf("%w before command committed", ErrClosed)}
 	}
@@ -494,6 +511,7 @@ func (l *Log) enqueue(q queued) (queued, error) {
 	}
 	l.nextID++
 	q.id = l.nextID
+	q.enqueuedAt = time.Now()
 	q.done = make(chan proposeResult, 1)
 	if q.barrier && !q.bare {
 		// Bare barriers (Log.Barrier) answer no query; counting them as
@@ -502,6 +520,10 @@ func (l *Log) enqueue(q queued) (queued, error) {
 	}
 	l.pending = append(l.pending, q)
 	l.mu.Unlock()
+	if !q.barrier {
+		l.m.enqueued.Inc()
+	}
+	l.m.queueDepth.Add(1)
 
 	select {
 	case l.notify <- struct{}{}:
@@ -964,8 +986,9 @@ func (l *Log) ReplicaLog(p types.ProcID) ([][]byte, bool) {
 // displaced by plain timeout recovery — no leadership change to blame — is
 // re-dispatched until it commits, exactly as before leases.
 type work struct {
-	batch     []queued
-	displaced int
+	batch        []queued
+	displaced    int
+	dispatchedAt time.Time // when the dispatcher last handed it to a worker (Agreement span)
 }
 
 // maxDisplacements bounds how many slots one batch may lose to takeover
@@ -992,6 +1015,7 @@ type slotOutcome struct {
 	epoch     uint64
 	recovered bool
 	fenced    bool
+	decidedAt time.Time // when the worker finished (CommitWait span starts here)
 	err       error
 }
 
@@ -1058,10 +1082,16 @@ func (l *Log) commitLoop(ctx context.Context) {
 	// with ErrClosed/ErrHalted per its contract — telling them "safe to
 	// retry" on a closing or halting group would be a lie.
 	settle := func(r slotOutcome, draining bool) (bool, error) {
+		// CommitWait closes when the slot leaves the reorder buffer; Apply
+		// spans the in-order commit step itself.
+		l.m.commitWait.Observe(time.Since(r.decidedAt))
+		applyStart := time.Now()
 		won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.w.batch), SlotDecider{Proposer: r.proposer, Epoch: r.epoch})
 		if err != nil {
 			return false, err
 		}
+		l.m.apply.Observe(time.Since(applyStart))
+		l.m.slots.Inc()
 		nextApply++
 		if won {
 			l.resolveBarriers(barriersOf(r.w.batch))
@@ -1104,10 +1134,12 @@ func (l *Log) commitLoop(ctx context.Context) {
 		for inflight > 0 {
 			res := <-results
 			inflight--
+			l.m.inflight.Add(-1)
 			if res.err != nil {
 				failed = append(failed, res.w.batch)
 			} else {
 				reorder[res.slot] = res
+				l.m.reorder.Add(1)
 			}
 		}
 		for {
@@ -1116,6 +1148,7 @@ func (l *Log) commitLoop(ctx context.Context) {
 				break
 			}
 			delete(reorder, nextApply)
+			l.m.reorder.Add(-1)
 			if ok, _ := settle(r, true); !ok {
 				failed = append(failed, r.w.batch)
 				break
@@ -1123,6 +1156,7 @@ func (l *Log) commitLoop(ctx context.Context) {
 		}
 		for _, res := range reorder {
 			failed = append(failed, res.w.batch)
+			l.m.reorder.Add(-1)
 		}
 		for _, w := range retry {
 			failed = append(failed, w.batch)
@@ -1158,6 +1192,9 @@ func (l *Log) commitLoop(ctx context.Context) {
 			slot := nextSlot
 			nextSlot++
 			inflight++
+			w.dispatchedAt = time.Now() // Agreement opens per dispatch, re-dispatches included
+			l.m.batches.Inc()
+			l.m.inflight.Add(1)
 			go l.driveSlot(workerCtx, slot, w, results)
 		}
 
@@ -1179,12 +1216,15 @@ func (l *Log) commitLoop(ctx context.Context) {
 			continue // fill the remaining pipeline slots
 		case res := <-results:
 			inflight--
+			l.m.inflight.Add(-1)
 			if res.err != nil {
 				terminate(res.err, res.w.batch)
 				return
 			}
+			l.m.agreement.Observe(res.decidedAt.Sub(res.w.dispatchedAt))
 			adapt(res.recovered && !res.fenced)
 			reorder[res.slot] = res
+			l.m.reorder.Add(1)
 			// Apply the contiguous decided prefix in slot order; slots
 			// decided ahead of a still-running predecessor wait in the
 			// buffer. The reorder buffer is epoch-agnostic: slots decided
@@ -1196,6 +1236,7 @@ func (l *Log) commitLoop(ctx context.Context) {
 					break
 				}
 				delete(reorder, nextApply)
+				l.m.reorder.Add(-1)
 				if ok, err := settle(r, false); !ok {
 					terminate(err, r.w.batch)
 					return
@@ -1244,8 +1285,8 @@ func barriersOf(batch []queued) []queued {
 // batch's own writes too, which only makes the reads fresher.
 func (l *Log) takeBatch() []queued {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if len(l.pending) == 0 {
+		l.mu.Unlock()
 		return nil
 	}
 	n, cmds := 0, 0
@@ -1260,6 +1301,17 @@ func (l *Log) takeBatch() []queued {
 	}
 	batch := l.pending[:n:n]
 	l.pending = append([]queued(nil), l.pending[n:]...)
+	l.mu.Unlock()
+	// BatchWait closes here — once per command, at its first (and only) trip
+	// through the queue; a batch later displaced and re-dispatched does not
+	// pass this way again, so the stage is never double-counted.
+	now := time.Now()
+	for _, q := range batch {
+		if !q.barrier {
+			l.m.batchWait.Observe(now.Sub(q.enqueuedAt))
+		}
+	}
+	l.m.queueDepth.Add(-int64(n))
 	return batch
 }
 
@@ -1278,8 +1330,9 @@ func (l *Log) halt(cause error) {
 	closed := l.closed
 	l.applied.Broadcast() // release ReadFrom waiters into the ErrHalted path
 	l.mu.Unlock()
+	l.m.queueDepth.Add(-int64(len(pending)))
 	if closed {
-		return // Close already owns the pending queue
+		return // Close already owns the pending queue (pending is empty here)
 	}
 	for _, q := range pending {
 		q.done <- proposeResult{err: fmt.Errorf("%w: %w", ErrHalted, cause)}
@@ -1297,7 +1350,9 @@ func (l *Log) halt(cause error) {
 // wait for our own slot, as only then is the read index known to cover every
 // command decided before it.
 func (l *Log) driveSlot(ctx context.Context, slot uint64, w work, results chan<- slotOutcome) {
-	results <- l.commitSlot(ctx, slot, w)
+	out := l.commitSlot(ctx, slot, w)
+	out.decidedAt = time.Now()
+	results <- out
 }
 
 func (l *Log) commitSlot(ctx context.Context, slot uint64, w work) slotOutcome {
@@ -1428,7 +1483,13 @@ func (l *Log) recoverSlot(ctx context.Context, slot uint64, originalBlob types.V
 		stopFence()
 		inst.Close()
 		if err == nil {
-			l.noteRecovery(decided, noop)
+			refused := l.noteRecovery(decided, noop)
+			l.traceEvent(proposer, trace.KindRecover,
+				"slot %d recovered by %s under epoch %d (noop=%v)", slot, proposer, epoch, noop)
+			if refused {
+				l.traceEvent(proposer, trace.KindRefusedNoOp,
+					"slot %d refused the recovery no-op: original batch had persisted", slot)
+			}
 			return decided, proposer, epoch, nil
 		}
 		if ctx.Err() != nil {
@@ -1467,17 +1528,20 @@ func (l *Log) recoveryProposer(holder, original types.ProcID) types.ProcID {
 
 // noteRecovery bumps the recovery counters: every recovered slot counts, and
 // a no-op that lost to the (durable) original batch additionally counts as
-// refused.
-func (l *Log) noteRecovery(decided types.Value, noop bool) {
+// refused — which is also what it reports, so the caller can trace the
+// refusal as its own event.
+func (l *Log) noteRecovery(decided types.Value, noop bool) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.stats.Recovered++
 	if !noop {
-		return // same-value re-propose: the fate was forced, not read
+		return false // same-value re-propose: the fate was forced, not read
 	}
 	if b, err := decodeBatch(decided); err == nil && b.Origin == l.origin {
 		l.stats.Refused++
+		return true
 	}
+	return false
 }
 
 // resolveBarriers answers the batch's read barriers at the just-established
@@ -1624,6 +1688,7 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by Slo
 	}
 	onCommit := l.opts.OnCommit
 	l.mu.Unlock()
+	l.m.committed.Add(uint64(len(b.Cmds)))
 
 	if onCommit != nil {
 		for _, e := range committed {
@@ -1650,7 +1715,9 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by Slo
 			}
 			resolved[i] = results[ri]
 		}
+		now := time.Now()
 		for i, q := range cmds {
+			l.m.e2e.Observe(now.Sub(q.enqueuedAt))
 			q.done <- resolved[i]
 		}
 	}
@@ -1727,6 +1794,7 @@ func (l *Log) maybeSnapshot() {
 
 	// Truncation bookkeeping: slice/map surgery only.
 	l.mu.Lock()
+	holder := l.holder
 	lastIndex := l.firstIndex + uint64(len(l.entries)) - 1
 	releaseFrom, lastSlot := l.truncateLocked()
 	l.snap = &snapState{data: data, lastIndex: lastIndex, lastSlot: lastSlot}
@@ -1740,6 +1808,8 @@ func (l *Log) maybeSnapshot() {
 	}
 	l.mu.Unlock()
 
+	l.traceEvent(holder, trace.KindSnapshot,
+		"snapshot through index %d; slots ≤ %d truncated", lastIndex, lastSlot)
 	l.releaseSlots(releaseFrom, lastSlot)
 
 	// Lagging views: build a restored machine off-lock, install it with a

@@ -77,3 +77,75 @@ func TestDetailFormatting(t *testing.T) {
 		t.Fatalf("detail = %q", got)
 	}
 }
+
+func TestRingRetainsMostRecentInOrder(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(1, KindInfo, nil, 0, "event %d", i)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	events := r.Events()
+	want := []string{"event 2", "event 3", "event 4"}
+	for i, w := range want {
+		if events[i].Detail != w {
+			t.Fatalf("events[%d] = %q, want %q (full: %v)", i, events[i].Detail, w, events)
+		}
+	}
+}
+
+func TestRingUnderCapacityBehavesLikeAppend(t *testing.T) {
+	r := NewRing(8)
+	r.Record(1, KindInfo, nil, 0, "a")
+	r.Record(1, KindInfo, nil, 0, "b")
+	if got := r.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+	events := r.Events()
+	if len(events) != 2 || events[0].Detail != "a" || events[1].Detail != "b" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Record(1, KindInfo, nil, 0, "e%d", i)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("reset left len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	// The ring stays usable after Reset, from a clean start index.
+	r.Record(1, KindInfo, nil, 0, "fresh")
+	if got := r.Events()[0].Detail; got != "fresh" {
+		t.Fatalf("post-reset event = %q", got)
+	}
+}
+
+func TestRingRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing accepted capacity 0")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestUnboundedDroppedIsZero(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 100; i++ {
+		r.Record(1, KindInfo, nil, 0, "x")
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+	var nilR *Recorder
+	if nilR.Dropped() != 0 {
+		t.Fatal("nil Dropped should be 0")
+	}
+}

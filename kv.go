@@ -273,5 +273,13 @@ func (kv *ShardedKV) Len() uint64 { return kv.s.Len() }
 // (shards, completed rebalances, migrated keys, forwarded operations).
 func (kv *ShardedKV) Stats() ShardedStats { return kv.s.Stats() }
 
+// Metrics snapshots the store-wide slot-lifecycle instrumentation (all
+// shards aggregate into one registry; see Sharded.Metrics and LogMetrics).
+func (kv *ShardedKV) Metrics() LogMetrics { return kv.s.Metrics() }
+
+// Registry returns the store's shared metrics registry, for text exposition
+// and expvar publication.
+func (kv *ShardedKV) Registry() *MetricsRegistry { return kv.s.Registry() }
+
 // Close shuts every shard's log down. Idempotent.
 func (kv *ShardedKV) Close() { kv.s.Close() }

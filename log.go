@@ -1,6 +1,7 @@
 package rdmaagreement
 
 import (
+	"rdmaagreement/internal/metrics"
 	"rdmaagreement/internal/omega"
 	"rdmaagreement/internal/shard"
 	"rdmaagreement/internal/smr"
@@ -31,6 +32,33 @@ type LogEntry = smr.Entry
 // into lease-served (zero slots) and read-index-barrier ones, and
 // PipelineDepth/PipelineBackoffs surface the adaptive slot pipeline.
 type LogStats = smr.Stats
+
+// LogMetrics is a point-in-time snapshot of a group's — or, via
+// Sharded.Metrics, a whole deployment's — slot-lifecycle instrumentation:
+// monotone commit counters, per-stage latency histograms decomposing a
+// command's end-to-end latency (batch wait → agreement → commit wait →
+// apply), and queue-depth gauges with high-water marks. Safe to snapshot
+// from any goroutine mid-workload; the record path is lock- and
+// allocation-free, so observing never stalls the committer.
+type LogMetrics = smr.Metrics
+
+// StageLatency summarizes one slot-lifecycle stage of LogMetrics.
+type StageLatency = smr.StageLatency
+
+// GaugeStats is a LogMetrics level gauge: current value plus peak.
+type GaugeStats = smr.GaugeStats
+
+// MetricsRegistry is the named-instrument registry behind LogMetrics
+// (LogOptions.Metrics, Log.Registry, Sharded.Registry): counters, gauges and
+// fixed-bucket latency histograms, snapshot-able as typed values
+// (LogMetrics), as an expvar-friendly map (Snapshot), or as
+// Prometheus-style text (WriteText). Groups sharing one registry aggregate.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry builds an empty registry, for callers that want several
+// groups recording into one aggregated view (LogOptions.Metrics) or a
+// custom exposition of the built-in instrumentation.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // Lease is an epoch-stamped, time-bounded leadership grant of a cluster
 // (Cluster.Lease): who may propose — and serve local linearizable reads —

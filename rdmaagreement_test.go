@@ -1,6 +1,7 @@
 package rdmaagreement
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -228,5 +229,71 @@ func TestPublicAPILifecycleErrors(t *testing.T) {
 	}
 	if _, err := l.Read(ctx, nil); !errors.Is(err, ErrLogClosed) {
 		t.Fatalf("Read after Close: err = %v, want ErrLogClosed", err)
+	}
+}
+
+func TestPublicAPIMetrics(t *testing.T) {
+	// All shard groups record into one deployment-wide registry by default,
+	// so the store-level snapshot is the aggregate across shards.
+	kv, err := NewShardedKV(ShardedKVOptions{
+		Shards: 2,
+		Log:    LogOptions{Cluster: Options{Processes: 3, Memories: 3}},
+	})
+	if err != nil {
+		t.Fatalf("NewShardedKV: %v", err)
+	}
+	defer kv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for _, k := range keys {
+		if _, _, err := kv.Put(ctx, k, k+"-value"); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+
+	m := kv.Metrics()
+	if m.Enqueued != uint64(len(keys)) {
+		t.Fatalf("Metrics().Enqueued = %d, want %d", m.Enqueued, len(keys))
+	}
+	if m.EndToEnd.Count != uint64(len(keys)) || m.EndToEnd.P50 <= 0 {
+		t.Fatalf("end-to-end stage not populated: %+v", m.EndToEnd)
+	}
+	if m.Agreement.Count == 0 || m.Agreement.P50 <= 0 {
+		t.Fatalf("agreement stage not populated: %+v", m.Agreement)
+	}
+	if m.Slots == 0 || m.Committed < uint64(len(keys)) {
+		t.Fatalf("slot counters not populated: %+v", m)
+	}
+
+	// The registry behind the snapshot serves text exposition.
+	var buf bytes.Buffer
+	if err := kv.Registry().WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("smr_e2e_seconds")) {
+		t.Fatalf("exposition missing e2e histogram:\n%s", buf.String())
+	}
+
+	// A caller-supplied registry aggregates on top of whatever else records
+	// into it.
+	reg := NewMetricsRegistry()
+	l, err := NewLog(LogOptions{
+		Cluster: Options{Processes: 3, Memories: 3},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	defer l.Close()
+	if _, _, err := l.Propose(ctx, []byte("solo")); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if l.Registry() != reg {
+		t.Fatal("Log.Registry() must return the caller-supplied registry")
+	}
+	if got := l.Metrics().Enqueued; got != 1 {
+		t.Fatalf("custom-registry Enqueued = %d, want 1", got)
 	}
 }

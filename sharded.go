@@ -11,8 +11,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdmaagreement/internal/metrics"
 	"rdmaagreement/internal/shard"
 	"rdmaagreement/internal/smr"
+	"rdmaagreement/internal/trace"
 )
 
 // ShardedOptions configure a Sharded replicated state machine.
@@ -376,6 +378,11 @@ type Sharded struct {
 	// gate. Plain logs (nil newSM) stay raw — they cannot rebalance anyway.
 	envelope bool
 
+	// metrics is the registry every group records into — one per Sharded
+	// deployment (or the caller's, via ShardedOptions.Log.Metrics), so the
+	// slot-lifecycle instrumentation aggregates across shards for free.
+	metrics *metrics.Registry
+
 	mu       sync.RWMutex
 	ring     *shard.Ring
 	logs     map[string]*smr.Log
@@ -417,11 +424,18 @@ func NewSharded(newSM func() StateMachine, opts ShardedOptions) (*Sharded, error
 			userHook(e)
 		}
 	}
+	if opts.Log.Metrics == nil {
+		// One registry across every group (including those added by later
+		// rebalances): counters, histogram buckets and delta-maintained
+		// gauges then sum into a deployment-wide view (Sharded.Metrics).
+		opts.Log.Metrics = metrics.NewRegistry()
+	}
 	names := shard.ShardNames(opts.Shards)
 	s := &Sharded{
 		newSM:    newSM,
 		logOpts:  opts.Log,
 		envelope: newSM != nil,
+		metrics:  opts.Log.Metrics,
 		ring:     shard.New(names, opts.VirtualNodes),
 		logs:     make(map[string]*smr.Log, opts.Shards),
 	}
@@ -809,6 +823,7 @@ func (s *Sharded) handoff(ctx context.Context, mig *migration, src string) error
 			return fmt.Errorf("sharded: migrate out of %s: decode result: %w", src, err)
 		}
 		mig.exports[src] = res
+		traceMigrate(srcLog, "migrate-out committed in %s: %d keys ceded (epoch %d)", src, res.Keys, mig.epoch)
 	}
 
 	// The cede is committed: the moved range exists only in res now. Run the
@@ -843,6 +858,7 @@ func (s *Sharded) handoff(ctx context.Context, mig *migration, src string) error
 			return fmt.Errorf("sharded: import into %s: decode result: %w", dest, err)
 		}
 		s.migrated.Add(uint64(ires.Keys))
+		traceMigrate(destLog, "migrate-in committed in %s: %d keys merged from %s (epoch %d)", dest, ires.Keys, src, mig.epoch)
 	}
 
 	// Every import is committed: tell the source it may drop its export
@@ -863,6 +879,13 @@ func (s *Sharded) handoff(ctx context.Context, mig *migration, src string) error
 	close(mig.ready[src])
 	s.mu.Unlock()
 	return nil
+}
+
+// traceMigrate records one leg of a shard handoff into the group's trace
+// recorder (LogOptions.Cluster.Recorder). Nil-safe like every Recorder call.
+func traceMigrate(l *smr.Log, format string, args ...any) {
+	c := l.Cluster()
+	c.Opts.Recorder.Record(c.LeaseHolder(), trace.KindShardMigrate, nil, 0, format, args...)
 }
 
 // proposeRetry re-proposes a migration command displaced by a lease takeover:
@@ -945,6 +968,18 @@ func (s *Sharded) Stats() ShardedStats {
 	}
 	return total
 }
+
+// Metrics snapshots the deployment-wide slot-lifecycle instrumentation:
+// every shard group records into one shared registry, so the counters,
+// per-stage latency histograms and queue gauges here aggregate all groups —
+// including any added or removed by rebalances — with no merge step. Safe to
+// call from any goroutine mid-workload; see Log.Metrics for the stage
+// semantics.
+func (s *Sharded) Metrics() LogMetrics { return smr.MetricsFrom(s.metrics) }
+
+// Registry returns the shared metrics registry behind Metrics, for text
+// exposition (WriteText) and expvar publication.
+func (s *Sharded) Registry() *MetricsRegistry { return s.metrics }
 
 // Len returns the total number of committed commands across all shards
 // (migration commands included: they are log entries like any other).
