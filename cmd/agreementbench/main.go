@@ -60,7 +60,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -100,6 +100,7 @@ func run() int {
 	lease := flag.Duration("lease", 0, "throughput mode: leader lease duration per group (0 = leases disabled; linearizable reads then pay the read-index barrier)")
 	failover := flag.Bool("failover", false, "throughput mode: after the workload, stall one group's lease holder and report the measured failover time (requires -lease)")
 	rebalance := flag.Bool("rebalance", false, "throughput mode: mid-workload, add one shard under live traffic and report the handoff (moved keys, forwarded ops, throughput dip) plus a lost/forked-key audit")
+	netMode := flag.Bool("net", false, "throughput mode: serve the store through an in-process kvserver on loopback TCP and drive it with the ring-aware client (-clients concurrent connections); with -rebalance the shard add goes through the admin endpoint")
 	jsonPath := flag.String("json", "", "throughput mode: also write the results as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve a debug HTTP endpoint on this address while the benchmark runs: /metrics (Prometheus-style text), /debug/vars (expvar), /debug/pprof/ (profiles)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -138,12 +139,24 @@ func run() int {
 		flag.Usage()
 		return exitUsage
 	}
+	if *netMode && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "agreementbench: -net requires -shards (it serves a sharded store over TCP)")
+		flag.Usage()
+		return exitUsage
+	}
+	if *netMode && *failover {
+		fmt.Fprintln(os.Stderr, "agreementbench: -net does not support -failover (failover is measured in-process)")
+		flag.Usage()
+		return exitUsage
+	}
 
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr); err != nil {
-			fmt.Fprintf(os.Stderr, "agreementbench: %v\n", err)
+		stopMetrics, merr := serveMetrics(*metricsAddr)
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: %v\n", merr)
 			return exitRuntime
 		}
+		defer stopMetrics()
 	}
 	stopProfiles, err := startProfiles(*cpuprofile, *traceOut)
 	if err != nil {
@@ -163,8 +176,11 @@ func run() int {
 		Lease:        *lease,
 		Failover:     *failover,
 		Rebalance:    *rebalance,
+		Net:          *netMode,
 	}
 	switch {
+	case *netMode:
+		err = runNet(cfg, *jsonPath)
 	case *rebalance:
 		err = runRebalance(cfg, *jsonPath)
 	case *shards > 0:
@@ -191,20 +207,31 @@ func run() int {
 // before the store exists degrades gracefully instead of crashing.
 var liveRegistry atomic.Pointer[rdmaagreement.MetricsRegistry]
 
+// publishSMROnce guards the process-global expvar key: expvar.Publish panics
+// on duplicates, so repeated serveMetrics calls (tests, embedding) register
+// it exactly once. The mux and listener below are per-call and private.
+var publishSMROnce sync.Once
+
 // serveMetrics starts the debug HTTP endpoint: /metrics serves the live
 // registry as Prometheus-style text, /debug/vars is expvar (the registry is
 // published under the "smr" key), /debug/pprof/ the usual runtime profiles.
-// The listener runs for the process's lifetime; the benchmark does not wait
-// for scrapes.
-func serveMetrics(addr string) error {
-	expvar.Publish("smr", expvar.Func(func() any {
-		reg := liveRegistry.Load()
-		if reg == nil {
-			return nil
-		}
-		return reg.Snapshot()
-	}))
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+// Everything is registered on a DEDICATED mux behind a private http.Server —
+// never http.DefaultServeMux, whose process-global registrations collided
+// with any other server in the process (the in-process kvserver of -net runs
+// next to this endpoint) and panicked on re-registration. The returned
+// shutdown function stops the listener gracefully.
+func serveMetrics(addr string) (shutdown func(), err error) {
+	publishSMROnce.Do(func() {
+		expvar.Publish("smr", expvar.Func(func() any {
+			reg := liveRegistry.Load()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		reg := liveRegistry.Load()
 		if reg == nil {
 			http.Error(w, "no benchmark running yet", http.StatusServiceUnavailable)
@@ -215,17 +242,28 @@ func serveMetrics(addr string) error {
 			fmt.Fprintf(os.Stderr, "agreementbench: /metrics write: %v\n", err)
 		}
 	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("metrics endpoint: %w", err)
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
 	}
+	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(os.Stderr, "agreementbench: debug endpoint on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", ln.Addr())
 	go func() {
-		if err := http.Serve(ln, nil); err != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "agreementbench: metrics endpoint: %v\n", err)
 		}
 	}()
-	return nil
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
 }
 
 // startProfiles begins CPU profiling and runtime tracing as requested and
@@ -326,6 +364,7 @@ type throughputConfig struct {
 	Lease        time.Duration `json:"lease_ns"`
 	Failover     bool          `json:"failover"`
 	Rebalance    bool          `json:"rebalance"`
+	Net          bool          `json:"net,omitempty"`
 }
 
 // throughputResult is the machine-readable record -json writes and -compare
@@ -367,6 +406,12 @@ type throughputResult struct {
 	RebalanceRateAfter  float64 `json:"rebalance_rate_after,omitempty"`
 	RebalanceLostKeys   int     `json:"rebalance_lost_keys"`
 	RebalanceForkedKeys int     `json:"rebalance_forked_keys"`
+	// Served front-end (-net): requests the kvserver admitted, responses the
+	// driving clients never got an answer for (every retry budget exhausted —
+	// must be zero), and 503s the clients absorbed by retrying.
+	ServedOps     uint64 `json:"served_ops,omitempty"`
+	LostResponses int64  `json:"lost_responses"`
+	ShedResponses uint64 `json:"shed_503s,omitempty"`
 	// Slot-lifecycle stage decomposition from the store's metrics registry:
 	// where a committed command's end-to-end latency went (waiting to be
 	// batched, the agreement round, waiting for in-order release, apply),

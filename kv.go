@@ -222,6 +222,20 @@ func (kv *ShardedKV) Get(key string) (string, bool) {
 	return v, found
 }
 
+// GetWithContext is Get bounded by ctx, with the error surfaced instead of
+// folded into "not found": the read itself is local and immediate, but a key
+// whose range is mid-handoff waits for the handoff to commit, and that wait
+// honors ctx — so a network front-end can enforce its request deadline on
+// the stale-read path. Same consistency contract as Get: local, formally
+// stale, served from the owning shard's freshest available replica view.
+func (kv *ShardedKV) GetWithContext(ctx context.Context, key string) (string, bool, error) {
+	resp, err := kv.s.StaleReadContext(ctx, key, []byte(key))
+	if err != nil {
+		return "", false, fmt.Errorf("sharded kv: get %q: %w", key, err)
+	}
+	return decodeKVResult(resp)
+}
+
 // GetLinearizable returns the value of key with a full linearizability
 // guarantee: it observes every Put that returned before the call started,
 // wherever it was issued. While the owning shard's leader holds an unexpired
@@ -265,6 +279,11 @@ func (kv *ShardedKV) ShardLog(name string) *Log { return kv.s.ShardLog(name) }
 
 // Shards returns the shard names in stable order.
 func (kv *ShardedKV) Shards() []string { return kv.s.Shards() }
+
+// RingConfig returns the authoritative ring's geometry (shard names plus
+// virtual-node count), from which a remote client rebuilds an identically
+// routing ring. See Sharded.RingConfig.
+func (kv *ShardedKV) RingConfig() ([]string, int) { return kv.s.RingConfig() }
 
 // Len returns the total number of committed commands across all shards.
 func (kv *ShardedKV) Len() uint64 { return kv.s.Len() }

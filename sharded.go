@@ -50,6 +50,35 @@ var (
 	ErrRebalanceInProgress = errors.New("sharded: another rebalance is still incomplete; retry it to completion first")
 )
 
+// KeyMovedError is the structured form of an ErrKeyMoved refusal: it names
+// the group that refused the operation and the group its committed ring now
+// routes the key to, so a routing layer that learns of the refusal — the
+// network client in particular — can re-route directly instead of
+// rediscovering the whole ring. It matches both errors.Is(err, ErrKeyMoved)
+// and errors.As(err, &KeyMovedError{}).
+type KeyMovedError struct {
+	// Key is the routing key the refused operation carried.
+	Key string
+	// From is the group that committed the refusal (the key's old owner).
+	From string
+	// Owner is the group From's committed ring config routes the key to.
+	Owner string
+	// Index is the log index of the committed refusal; 0 for query-path
+	// refusals, which commit nothing.
+	Index uint64
+}
+
+func (e *KeyMovedError) Error() string {
+	if e.Index > 0 {
+		return fmt.Sprintf("%v: %q left %s for %s (index %d)", ErrKeyMoved, e.Key, e.From, e.Owner, e.Index)
+	}
+	return fmt.Sprintf("%v: %q is not served by %s (owner %s)", ErrKeyMoved, e.Key, e.From, e.Owner)
+}
+
+// Unwrap keeps the errors.Is(err, ErrKeyMoved) contract every existing
+// retry loop relies on.
+func (e *KeyMovedError) Unwrap() error { return ErrKeyMoved }
+
 // Migrator is optionally implemented by application state machines that
 // support live shard rebalancing (Sharded.AddShard / RemoveShard). Both
 // methods run inside the apply of a committed migration command — on the
@@ -206,7 +235,8 @@ func (g *groupSM) Apply(e LogEntry) ([]byte, error) {
 		return g.applyMigrate(env.Migrate)
 	}
 	if !g.owns(env.Key) {
-		return nil, fmt.Errorf("%w: %q left %s (index %d)", ErrKeyMoved, env.Key, g.self, e.Index)
+		// owns reported false, so g.ring is non-nil and names the new owner.
+		return nil, &KeyMovedError{Key: env.Key, From: g.self, Owner: g.ring.Shard(env.Key), Index: e.Index}
 	}
 	inner := e
 	inner.Cmd = env.Cmd
@@ -277,7 +307,7 @@ func (g *groupSM) Query(query []byte) ([]byte, error) {
 		return g.queryInner(query) // raw log-level query: no key, no gate
 	}
 	if !g.owns(env.Key) {
-		return nil, fmt.Errorf("%w: %q is not served by %s", ErrKeyMoved, env.Key, g.self)
+		return nil, &KeyMovedError{Key: env.Key, From: g.self, Owner: g.ring.Shard(env.Key)}
 	}
 	return g.queryInner(env.Cmd)
 }
@@ -629,16 +659,29 @@ const staleForwardWait = 2 * time.Second
 // moved may briefly read as absent on a destination replica that has not
 // applied the import yet.
 func (s *Sharded) StaleRead(key string, query []byte) ([]byte, error) {
+	return s.StaleReadContext(context.Background(), key, query)
+}
+
+// StaleReadContext is StaleRead bounded by ctx: the read itself is local and
+// immediate, but a key whose range is mid-handoff waits for the handoff to
+// commit before retrying at the new owner, and that wait now honors the
+// caller's deadline — which is what lets a network server enforce request
+// deadlines on the stale-read path. The staleForwardWait bound still applies
+// on top, so a stuck rebalance degrades to an error even under a generous
+// ctx (the timer exists only on the actually-waiting path; the hot local-read
+// case pays nothing for it).
+func (s *Sharded) StaleReadContext(ctx context.Context, key string, query []byte) ([]byte, error) {
+	// The local read never blocks, so an already-dead ctx would otherwise
+	// still succeed; callers handed a canceled request deserve a refusal.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	payload, err := s.envelopePayload(key, query)
 	if err != nil {
 		return nil, err
 	}
-	// StaleRead takes no context; the waitBound caps the handoff wait so a
-	// stuck rebalance degrades to an error, not a hang (the timer exists
-	// only on the actually-waiting path, so the hot local-read case pays
-	// nothing for it).
 	var resp []byte
-	_, err = s.withOwner(context.Background(), "stale read", key, staleForwardWait, func(l *smr.Log) error {
+	_, err = s.withOwner(ctx, "stale read", key, staleForwardWait, func(l *smr.Log) error {
 		var err error
 		resp, err = l.LocalRead(payload)
 		return err
@@ -926,6 +969,16 @@ func (s *Sharded) Shards() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ring.Shards()
+}
+
+// RingConfig returns the authoritative ring's geometry — the shard names in
+// stable order plus the virtual-node count per shard. A ring of identical
+// routing built elsewhere from exactly these two values (NewRing) is how a
+// remote client mirrors the router without sharing its memory.
+func (s *Sharded) RingConfig() (shards []string, vnodes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Shards(), s.ring.VirtualNodes()
 }
 
 // Stats aggregates the per-shard counters (see ShardedStats): recovery,
