@@ -71,6 +71,7 @@ import (
 	"time"
 
 	"rdmaagreement"
+	"rdmaagreement/internal/chaos"
 )
 
 // Exit codes. flag.ExitOnError also exits 2 on parse errors, matching
@@ -106,6 +107,9 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file (go tool pprof)")
 	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the run to this file (go tool trace)")
+	chaosMode := flag.Bool("chaos", false, "run one seeded chaos schedule (fault injection + linearizability check) instead of a benchmark; composes with -shards, -clients, -latency, -lease, -net, -json")
+	chaosSeed := flag.Int64("seed", -1, "chaos mode: schedule seed; -1 picks one at random and prints it")
+	chaosWindow := flag.Duration("chaos-window", 0, "chaos mode: workload-and-fault window (0 = chaos default)")
 	compare := flag.Bool("compare", false, "compare two -json records (base, new): exit 3 unless new beats base on -metric by -min-speedup")
 	metric := flag.String("metric", "appends", "compare mode: which rate to gate on, 'appends' (appends/sec) or 'reads' (linearizable reads/sec)")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "compare mode: required rate ratio new/base (1.0 = strictly faster)")
@@ -128,6 +132,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "agreementbench: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		return exitUsage
+	}
+	if *chaosMode {
+		// Chaos brings its own defaults (shards, clients, window) and its own
+		// served mode, so the benchmark-specific flag couplings below do not
+		// apply. Violations are safety failures: exit 1.
+		return runChaosMode(chaosConfig(*chaosSeed, *chaosWindow, *shards, *clients, *latency, *lease, *netMode), *jsonPath)
 	}
 	if *failover && *lease <= 0 {
 		fmt.Fprintln(os.Stderr, "agreementbench: -failover requires -lease (there is no lease to expire without one)")
@@ -1033,4 +1043,90 @@ func readResult(path string) (throughputResult, error) {
 		return throughputResult{}, fmt.Errorf("compare %s: %w", path, err)
 	}
 	return res, nil
+}
+
+// chaosConfig maps the benchmark's shared flags onto a chaos run.
+func chaosConfig(seed int64, window time.Duration, shards, clients int, latency, lease time.Duration, netMode bool) chaos.Config {
+	if seed < 0 {
+		seed = time.Now().UnixNano() & 0x7fffffff
+		fmt.Fprintf(os.Stderr, "agreementbench: -chaos picked seed %d\n", seed)
+	}
+	return chaos.Config{
+		Seed:    seed,
+		Shards:  shards,
+		Clients: clients,
+		Window:  window,
+		Latency: latency,
+		Lease:   lease,
+		Served:  netMode,
+		Out:     os.Stderr,
+	}
+}
+
+// chaosRecord is the -json shape of a chaos run, mirroring the human-readable
+// verdict line.
+type chaosRecord struct {
+	Seed          int64          `json:"seed"`
+	Window        string         `json:"window"`
+	Ops           int            `json:"ops"`
+	Puts          int            `json:"puts"`
+	Gets          int            `json:"gets"`
+	Dropped       int            `json:"dropped"`
+	Unknown       int            `json:"unknown"`
+	Faults        map[string]int `json:"faults"`
+	Takeovers     uint64         `json:"takeovers"`
+	CheckMS       float64        `json:"check_ms"`
+	Linearizable  bool           `json:"linearizable"`
+	ViolatingKeys []string       `json:"violating_keys,omitempty"`
+	Repro         string         `json:"repro"`
+}
+
+// runChaosMode runs one seeded chaos schedule and reports the verdict. A
+// linearizability violation is a safety failure and exits 1 — the run
+// completed; the store broke its contract.
+func runChaosMode(cfg chaos.Config, jsonPath string) int {
+	res, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "agreementbench: chaos: %v\nrepro: %s\n", err, cfg.ReproLine())
+		return exitRuntime
+	}
+	record := chaosRecord{
+		Seed:         res.Config.Seed,
+		Window:       res.Config.Window.String(),
+		Ops:          res.Ops,
+		Puts:         res.Puts,
+		Gets:         res.Gets,
+		Dropped:      res.Dropped,
+		Unknown:      res.Unknown,
+		Faults:       res.Faults,
+		Takeovers:    res.Takeovers,
+		CheckMS:      float64(res.CheckDuration.Microseconds()) / 1000,
+		Linearizable: res.Linearizable,
+		Repro:        res.Config.ReproLine(),
+	}
+	for _, v := range res.Violations {
+		record.ViolatingKeys = append(record.ViolatingKeys, v.Key)
+	}
+	if jsonPath != "" {
+		blob, jerr := json.MarshalIndent(record, "", "  ")
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: chaos: %v\n", jerr)
+			return exitRuntime
+		}
+		if werr := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "agreementbench: chaos: write %s: %v\n", jsonPath, werr)
+			return exitRuntime
+		}
+	}
+	if !res.Linearizable {
+		fmt.Printf("FAIL chaos seed=%d: history not linearizable (%d violating keys)\nrepro: %s\n",
+			res.Config.Seed, len(res.Violations), cfg.ReproLine())
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, v.Report())
+		}
+		return exitRuntime
+	}
+	fmt.Printf("PASS chaos seed=%d ops=%d unknown=%d takeovers=%d check=%s\n",
+		res.Config.Seed, res.Ops, res.Unknown, res.Takeovers, res.CheckDuration.Round(time.Millisecond))
+	return exitOK
 }

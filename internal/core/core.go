@@ -415,10 +415,21 @@ func (c *Cluster) LeaseTakeovers() uint64 { return c.Oracle.Takeovers() }
 // their identifiers.
 func (c *Cluster) CrashMemories(count int) []types.MemID { return c.Pool.CrashQuorumSafe(count) }
 
+// ReviveMemories revives every crashed memory in the pool (the mirror of
+// CrashMemories) and returns the identifiers that were in fact crashed.
+func (c *Cluster) ReviveMemories() []types.MemID { return c.Pool.Revive() }
+
 // CrashProcess crashes a process on the network (its messages stop flowing).
 // Memory-based protocols treat a crashed process as one that simply stops
 // taking steps.
 func (c *Cluster) CrashProcess(p types.ProcID) { c.Network.CrashProcess(p) }
+
+// ReviveProcess lets a crashed process's messages flow again. Its heartbeat
+// sender never stopped ticking — the sends just failed — so a revived
+// process resumes renewing (or granting) leases within a heartbeat period,
+// and epoch fencing keeps anything it had in flight from the pre-crash era
+// from deciding. This is the recovering half of the zombie-server scenario.
+func (c *Cluster) ReviveProcess(p types.ProcID) { c.Network.ReviveProcess(p) }
 
 // router returns the router of process p, creating and tracking it on first
 // use. Each process has at most one router (the router owns the endpoint's

@@ -1,0 +1,441 @@
+// Package linearize checks recorded key-value operation histories for
+// linearizability against the last-writer-wins register model ShardedKV
+// implements.
+//
+// A history is a flat slice of Op: every acknowledged Put and every
+// linearizable Get a set of concurrent clients performed, stamped with
+// invocation and return times from one monotonic clock. Check partitions the
+// history by key — sound here because a key lives on exactly one shard at a
+// time and a shard's log applies its commands in one total order, so
+// operations on different keys never constrain each other — and runs a
+// porcupine-style search (Wing & Gong's algorithm with Lowe's
+// just-in-time-linearization and memoization refinements) over each key's
+// sub-history: it looks for a single total order of the key's operations
+// that (a) respects real time — if op A returned before op B was invoked, A
+// comes first — and (b) steps the register model so that every Get observes
+// exactly the latest linearized Put. If no such order exists the history is
+// not linearizable and the store broke its contract.
+//
+// Operations with unknown outcomes — a Put whose connection died after the
+// request was sent, so it may or may not have committed — are marked
+// Op.Unknown and handled soundly: the checker may place such a Put at any
+// point after its invocation (its effect window never closes) or discard it
+// entirely (it never committed). An Unknown Get carries no information and
+// is ignored.
+//
+// What the checker can and cannot refute: it decides linearizability of the
+// recorded history exactly — a reported violation is a real violation
+// (modulo clock correctness), never a false alarm, and a pass means the
+// recorded operations are consistent with some legal execution. It cannot
+// rule out faults invisible to the recorded history (e.g. a write that was
+// acknowledged, silently lost, and never read before the history ended —
+// which is why the chaos harness appends a final read of every key), and it
+// checks linearizability only, not liveness.
+package linearize
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is the operation type of an Op.
+type Kind uint8
+
+const (
+	// Put writes Op.Input to Op.Key.
+	Put Kind = iota
+	// Get reads Op.Key, observing Op.Found and (when found) Op.Output.
+	Get
+)
+
+func (k Kind) String() string {
+	if k == Put {
+		return "put"
+	}
+	return "get"
+}
+
+// Op is one client operation in a history. Invoke and Return are timestamps
+// in nanoseconds from any single monotonic origin; Return < 0 (or
+// math.MaxInt64) means the operation never returned and is treated as
+// pending forever (concurrent with everything after its invocation).
+type Op struct {
+	// Client identifies the issuing client; used only in reports.
+	Client int
+	// Kind is Put or Get.
+	Kind Kind
+	// Key is the routing key the operation targeted.
+	Key string
+	// Input is the value a Put wrote.
+	Input string
+	// Output is the value a Get observed (meaningful only when Found).
+	Output string
+	// Found reports whether a Get observed the key as present.
+	Found bool
+	// Unknown marks an operation whose outcome is ambiguous: it may or may
+	// not have taken effect. The checker may linearize an Unknown Put
+	// anywhere after its invocation or drop it; Unknown Gets are ignored.
+	Unknown bool
+	// Invoke is the invocation timestamp.
+	Invoke int64
+	// Return is the return timestamp (see above for pending operations).
+	Return int64
+}
+
+// Violation is one key whose sub-history admits no linearization.
+type Violation struct {
+	// Key is the offending key.
+	Key string
+	// Ops is the key's recorded sub-history, sorted by invocation time.
+	Ops []Op
+}
+
+// Report renders the violating sub-history as a human-readable table for
+// artifacts and failure messages.
+func (v Violation) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key %q: no linearization of %d operations\n", v.Key, len(v.Ops))
+	for _, op := range v.Ops {
+		ret := "pending"
+		if r := normalizeReturn(op.Return); r != math.MaxInt64 {
+			ret = fmt.Sprintf("%d", r)
+		}
+		switch op.Kind {
+		case Put:
+			tag := ""
+			if op.Unknown {
+				tag = " (outcome unknown)"
+			}
+			fmt.Fprintf(&b, "  client %d  put %q  [%d, %s]%s\n", op.Client, op.Input, op.Invoke, ret, tag)
+		case Get:
+			obs := "not found"
+			if op.Found {
+				obs = fmt.Sprintf("observed %q", op.Output)
+			}
+			fmt.Fprintf(&b, "  client %d  get -> %s  [%d, %s]\n", op.Client, obs, op.Invoke, ret)
+		}
+	}
+	return b.String()
+}
+
+// Result is the outcome of a Check.
+type Result struct {
+	// Ok reports whether every key's sub-history linearizes.
+	Ok bool
+	// Keys is the number of distinct keys checked.
+	Keys int
+	// Ops is the number of operations checked (after dropping Unknown Gets).
+	Ops int
+	// Violations lists the keys that failed, sorted by key. A violation is
+	// definitive: no total order consistent with real time explains the
+	// recorded observations.
+	Violations []Violation
+}
+
+// Check decides whether the history is linearizable with respect to the KV
+// register model. Keys are checked independently and concurrently; the
+// result aggregates every key's verdict. Check is deterministic: the same
+// history yields the same Result.
+func Check(history []Op) Result {
+	perKey := make(map[string][]Op)
+	ops := 0
+	for _, op := range history {
+		if op.Kind == Get && op.Unknown {
+			continue // an unobserved read constrains nothing
+		}
+		perKey[op.Key] = append(perKey[op.Key], op)
+		ops++
+	}
+	keys := make([]string, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	type verdict struct {
+		key string
+		ok  bool
+	}
+	verdicts := make([]verdict, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			verdicts[i] = verdict{key: k, ok: checkKey(perKey[k])}
+		}(i, k)
+	}
+	wg.Wait()
+
+	res := Result{Ok: true, Keys: len(keys), Ops: ops}
+	for _, v := range verdicts {
+		if v.ok {
+			continue
+		}
+		res.Ok = false
+		sub := append([]Op(nil), perKey[v.key]...)
+		sort.Slice(sub, func(a, b int) bool { return sub[a].Invoke < sub[b].Invoke })
+		res.Violations = append(res.Violations, Violation{Key: v.key, Ops: sub})
+	}
+	return res
+}
+
+// regState is the register model's state: one key's presence and value.
+type regState struct {
+	found bool
+	value string
+}
+
+// step applies op to the state, reporting whether the model permits it.
+func step(st regState, op Op) (regState, bool) {
+	switch op.Kind {
+	case Put:
+		return regState{found: true, value: op.Input}, true
+	default: // Get
+		if op.Found != st.found {
+			return st, false
+		}
+		if op.Found && op.Output != st.value {
+			return st, false
+		}
+		return st, true
+	}
+}
+
+func normalizeReturn(r int64) int64 {
+	if r < 0 {
+		return math.MaxInt64
+	}
+	return r
+}
+
+// entry is one event (a call or its matching return) in the doubly linked
+// event list the search walks. Lifting an operation removes its call and
+// return in O(1); unlifting restores them, which is what makes backtracking
+// cheap.
+type entry struct {
+	op         int // index into the key's op slice; call entries only
+	isReturn   bool
+	match      *entry // call -> return
+	prev, next *entry
+}
+
+func (e *entry) lift() {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+func (e *entry) unlift() {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+// bitset is a fixed-size bit vector identifying a set of linearized ops.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) bitset {
+	b[i/64] |= 1 << (uint(i) % 64)
+	return b
+}
+
+func (b bitset) clear(i int) bitset {
+	b[i/64] &^= 1 << (uint(i) % 64)
+	return b
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) hash() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, w := range b {
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}
+
+func (b bitset) equals(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type cacheEntry struct {
+	linearized bitset
+	state      regState
+}
+
+// checkKey runs the linearizability search over one key's operations.
+//
+// The algorithm walks the time-ordered event list looking for the next call
+// entry whose operation the model permits from the current state; taking it
+// tentatively linearizes the op (lift + push on an undo stack), and a seen
+// (linearized-set, state) pair — the memoization Lowe added to Wing & Gong —
+// prunes re-exploration. Hitting a return entry means some pending operation
+// must linearize before that point and none can: backtrack. The search
+// succeeds when every operation with a known outcome is linearized; any
+// still-unlinearized Unknown operations are then discarded as
+// never-committed, which is the sound reading of an ambiguous outcome.
+func checkKey(ops []Op) bool {
+	// Build the event list: two entries per op, ordered by time with calls
+	// before returns on ties (ties mean "cannot order", and calls-first
+	// makes tied ops concurrent — permissive, so never a false violation).
+	type event struct {
+		t        int64
+		isReturn bool
+		op       int
+	}
+	events := make([]event, 0, 2*len(ops))
+	for i, op := range ops {
+		ret := normalizeReturn(op.Return)
+		if op.Unknown {
+			// An ambiguous outcome's effect window never closes: the command
+			// may commit after the error surfaced to the client.
+			ret = math.MaxInt64
+		}
+		events = append(events, event{t: op.Invoke, op: i})
+		events = append(events, event{t: ret, isReturn: true, op: i})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return !events[a].isReturn && events[b].isReturn
+	})
+
+	head := &entry{op: -1}
+	prev := head
+	calls := make([]*entry, len(ops)) // op index -> call entry
+	for _, ev := range events {
+		e := &entry{op: ev.op, isReturn: ev.isReturn, prev: prev}
+		prev.next = e
+		prev = e
+		if ev.isReturn {
+			calls[ev.op].match = e
+		} else {
+			calls[ev.op] = e
+		}
+	}
+
+	knownRemaining := 0
+	for _, op := range ops {
+		if !op.Unknown {
+			knownRemaining++
+		}
+	}
+
+	linearized := newBitset(len(ops))
+	cache := make(map[uint64][]cacheEntry)
+	seen := func(b bitset, st regState) bool {
+		h := b.hash() ^ stateHash(st)
+		for _, ce := range cache[h] {
+			if ce.state == st && ce.linearized.equals(b) {
+				return true
+			}
+		}
+		cache[h] = append(cache[h], cacheEntry{linearized: b.clone(), state: st})
+		return false
+	}
+
+	type frame struct {
+		e     *entry
+		state regState
+	}
+	var stack []frame
+	state := regState{}
+	e := head.next
+	for {
+		if knownRemaining == 0 {
+			return true // all that remains is Unknown ops: drop them
+		}
+		if e == nil {
+			// Walked past the end without linearizing everything known:
+			// backtrack (equivalent to hitting a return with no candidates).
+			if len(stack) == 0 {
+				return false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.e.op)
+			if !ops[top.e.op].Unknown {
+				knownRemaining++
+			}
+			top.e.unlift()
+			e = top.e.next
+			continue
+		}
+		if !e.isReturn {
+			if newState, ok := step(state, ops[e.op]); ok {
+				candidate := linearized.clone().set(e.op)
+				if !seen(candidate, newState) {
+					stack = append(stack, frame{e: e, state: state})
+					state = newState
+					linearized.set(e.op)
+					if !ops[e.op].Unknown {
+						knownRemaining--
+					}
+					e.lift()
+					e = head.next
+					continue
+				}
+			}
+			e = e.next
+			continue
+		}
+		// Return entry: every operation that could linearize before this
+		// point has been tried. Backtrack the most recent choice.
+		if len(stack) == 0 {
+			return false
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = top.state
+		linearized.clear(top.e.op)
+		if !ops[top.e.op].Unknown {
+			knownRemaining++
+		}
+		top.e.unlift()
+		e = top.e.next
+	}
+}
+
+func stateHash(st regState) uint64 {
+	h := uint64(1469598103934665603)
+	if st.found {
+		h = (h ^ 1) * 1099511628211
+	}
+	for i := 0; i < len(st.value); i++ {
+		h = (h ^ uint64(st.value[i])) * 1099511628211
+	}
+	return h
+}

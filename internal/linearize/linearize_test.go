@@ -1,0 +1,247 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// op builders keep the histories readable: times are small integers.
+func put(client int, key, value string, invoke, ret int64) Op {
+	return Op{Client: client, Kind: Put, Key: key, Input: value, Invoke: invoke, Return: ret}
+}
+
+func get(client int, key, value string, found bool, invoke, ret int64) Op {
+	return Op{Client: client, Kind: Get, Key: key, Output: value, Found: found, Invoke: invoke, Return: ret}
+}
+
+func unknownPut(client int, key, value string, invoke int64) Op {
+	return Op{Client: client, Kind: Put, Key: key, Input: value, Unknown: true, Invoke: invoke, Return: -1}
+}
+
+func TestCheckEmptyAndSequential(t *testing.T) {
+	if res := Check(nil); !res.Ok || res.Keys != 0 {
+		t.Fatalf("empty history: %+v", res)
+	}
+	res := Check([]Op{
+		get(1, "a", "", false, 0, 1), // before any put: not found
+		put(1, "a", "v1", 2, 3),
+		get(1, "a", "v1", true, 4, 5),
+		put(1, "a", "v2", 6, 7),
+		get(2, "a", "v2", true, 8, 9),
+	})
+	if !res.Ok {
+		t.Fatalf("sequential history must linearize: %+v", res)
+	}
+	if res.Keys != 1 || res.Ops != 5 {
+		t.Fatalf("counts wrong: %+v", res)
+	}
+}
+
+func TestCheckStaleReadViolation(t *testing.T) {
+	// The put completed strictly before the read started, yet the read
+	// missed it: the canonical linearizability violation.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 10),
+		get(2, "a", "", false, 20, 30),
+	})
+	if res.Ok {
+		t.Fatalf("stale read must be refuted")
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Key != "a" {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+	if rep := res.Violations[0].Report(); !strings.Contains(rep, "not found") {
+		t.Fatalf("report should show the stale observation:\n%s", rep)
+	}
+}
+
+func TestCheckForkedValueViolation(t *testing.T) {
+	// Two sequential reads observe two writes in opposite orders: no total
+	// order explains both.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 1),
+		put(2, "a", "v2", 2, 3),
+		get(3, "a", "v1", true, 10, 11), // sees v1 after v2 committed...
+		get(3, "a", "v2", true, 12, 13), // ...then v2 again
+	})
+	if res.Ok {
+		t.Fatalf("flip-flopping reads must be refuted")
+	}
+}
+
+func TestCheckConcurrentPutsEitherOrder(t *testing.T) {
+	// Overlapping puts may linearize in either order; a read after both may
+	// observe either winner.
+	for _, winner := range []string{"v1", "v2"} {
+		res := Check([]Op{
+			put(1, "a", "v1", 0, 10),
+			put(2, "a", "v2", 5, 15),
+			get(3, "a", winner, true, 20, 21),
+		})
+		if !res.Ok {
+			t.Fatalf("winner %q must be admissible: %+v", winner, res)
+		}
+	}
+	// But a value nobody wrote is refuted.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 10),
+		get(3, "a", "ghost", true, 20, 21),
+	})
+	if res.Ok {
+		t.Fatalf("phantom value must be refuted")
+	}
+}
+
+func TestCheckReadDuringPutWindow(t *testing.T) {
+	// A read concurrent with a put may see the world before or after it.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 100),
+		get(2, "a", "", false, 10, 20),  // linearizes before the put
+		get(3, "a", "v1", true, 30, 40), // linearizes after it
+	})
+	if !res.Ok {
+		t.Fatalf("both observations fit inside the put window: %+v", res)
+	}
+	// Once observed, the put cannot un-happen for a later read.
+	res = Check([]Op{
+		put(1, "a", "v1", 0, 100),
+		get(3, "a", "v1", true, 10, 20),
+		get(2, "a", "", false, 30, 40),
+	})
+	if res.Ok {
+		t.Fatalf("observed put un-happening must be refuted")
+	}
+}
+
+func TestCheckUnknownPutMayCommitOrVanish(t *testing.T) {
+	// Committed reading: a later read observes the ambiguous put.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 1),
+		unknownPut(2, "a", "maybe", 10),
+		get(3, "a", "maybe", true, 20, 21),
+	})
+	if !res.Ok {
+		t.Fatalf("unknown put observed by a read must linearize: %+v", res)
+	}
+	// Vanished reading: nothing ever observes it.
+	res = Check([]Op{
+		put(1, "a", "v1", 0, 1),
+		unknownPut(2, "a", "maybe", 10),
+		get(3, "a", "v1", true, 20, 21),
+	})
+	if !res.Ok {
+		t.Fatalf("unknown put dropping out must linearize: %+v", res)
+	}
+	// The effect window of an unknown put never closes: it may commit late,
+	// after reads that missed it.
+	res = Check([]Op{
+		unknownPut(2, "a", "maybe", 0),
+		get(3, "a", "", false, 10, 11),
+		get(3, "a", "maybe", true, 20, 21),
+	})
+	if !res.Ok {
+		t.Fatalf("late-committing unknown put must linearize: %+v", res)
+	}
+	// But it cannot explain a value it did not write.
+	res = Check([]Op{
+		unknownPut(2, "a", "maybe", 0),
+		get(3, "a", "ghost", true, 10, 11),
+	})
+	if res.Ok {
+		t.Fatalf("unknown put must not excuse phantom values")
+	}
+}
+
+func TestCheckUnknownGetIgnored(t *testing.T) {
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 1),
+		{Client: 2, Kind: Get, Key: "a", Unknown: true, Invoke: 2, Return: -1},
+	})
+	if !res.Ok || res.Ops != 1 {
+		t.Fatalf("unknown get should be dropped from the checked ops: %+v", res)
+	}
+}
+
+func TestCheckKeysIndependent(t *testing.T) {
+	// A violation on one key does not taint another.
+	res := Check([]Op{
+		put(1, "good", "v1", 0, 1),
+		get(2, "good", "v1", true, 2, 3),
+		put(1, "bad", "v1", 0, 1),
+		get(2, "bad", "", false, 10, 11),
+	})
+	if res.Ok || len(res.Violations) != 1 || res.Violations[0].Key != "bad" {
+		t.Fatalf("exactly key %q must fail: %+v", "bad", res)
+	}
+}
+
+func TestCheckTiedTimestampsAreConcurrent(t *testing.T) {
+	// Return(A) == Invoke(B): cannot be ordered, so either outcome passes.
+	res := Check([]Op{
+		put(1, "a", "v1", 0, 10),
+		get(2, "a", "", false, 10, 12),
+	})
+	if !res.Ok {
+		t.Fatalf("tied ops must count as concurrent: %+v", res)
+	}
+}
+
+// TestCheckRandomSequentialHistories cross-validates the search: histories
+// generated by actually running a register sequentially (a true total order
+// behind the timestamps) must always pass.
+func TestCheckRandomSequentialHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var history []Op
+		state := map[string]string{}
+		now := int64(0)
+		keys := []string{"a", "b", "c"}
+		for i := 0; i < 60; i++ {
+			key := keys[rng.Intn(len(keys))]
+			now += int64(rng.Intn(5)) + 1
+			invoke := now
+			now += int64(rng.Intn(5)) + 1
+			ret := now
+			if rng.Intn(2) == 0 {
+				v := fmt.Sprintf("t%d-%d", trial, i)
+				state[key] = v
+				history = append(history, put(i%7, key, v, invoke, ret))
+			} else {
+				v, found := state[key]
+				history = append(history, get(i%7, key, v, found, invoke, ret))
+			}
+		}
+		if res := Check(history); !res.Ok {
+			t.Fatalf("trial %d: sequential execution reported as violation: %+v", trial, res.Violations)
+		}
+	}
+}
+
+func BenchmarkCheckContendedKey(b *testing.B) {
+	// 512 ops on one key from 8 clients with overlapping windows: the
+	// worst-case shape the chaos harness produces.
+	rng := rand.New(rand.NewSource(42))
+	var history []Op
+	state := ""
+	now := int64(0)
+	for i := 0; i < 512; i++ {
+		now += int64(rng.Intn(3)) + 1
+		invoke := now
+		ret := now + int64(rng.Intn(20)) + 1 // overlaps successors
+		if rng.Intn(3) == 0 {
+			v := fmt.Sprintf("v%d", i)
+			state = v
+			history = append(history, put(i%8, "hot", v, invoke, ret))
+		} else {
+			history = append(history, get(i%8, "hot", state, state != "", invoke, ret))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := Check(history); !res.Ok {
+			b.Fatalf("violation: %+v", res.Violations)
+		}
+	}
+}

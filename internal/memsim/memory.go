@@ -393,6 +393,19 @@ func (p *Pool) Revive() []types.MemID {
 	return revived
 }
 
+// Crashed returns the identifiers of the currently crashed memories, in
+// identifier order. A fault schedule uses it to audit that every crash it
+// injected was healed before a final consistency check.
+func (p *Pool) Crashed() []types.MemID {
+	out := make([]types.MemID, 0, len(p.mems))
+	for _, m := range p.mems {
+		if m.Crashed() {
+			out = append(out, m.ID())
+		}
+	}
+	return out
+}
+
 // CrashQuorumSafe crashes up to n memories chosen in identifier order. It is
 // a convenience for tests and fault schedules; it returns the identifiers
 // crashed.

@@ -483,3 +483,20 @@ func TestPoolReviveReportsCrashedSubset(t *testing.T) {
 		t.Fatalf("second Revive() revived memories on a healthy pool")
 	}
 }
+
+func TestPoolCrashedTracksCrashRevive(t *testing.T) {
+	layout := func(types.MemID) []RegionSpec { return nil }
+	pool := NewPool(5, layout, Options{})
+	if got := pool.Crashed(); len(got) != 0 {
+		t.Fatalf("fresh pool reports crashed memories: %v", got)
+	}
+	crashed := pool.CrashQuorumSafe(2)
+	got := pool.Crashed()
+	if len(got) != 2 || got[0] != crashed[0] || got[1] != crashed[1] {
+		t.Fatalf("Crashed() = %v, want %v", got, crashed)
+	}
+	pool.Revive()
+	if got := pool.Crashed(); len(got) != 0 {
+		t.Fatalf("revived pool reports crashed memories: %v", got)
+	}
+}

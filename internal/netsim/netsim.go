@@ -7,10 +7,11 @@
 // inbox. Messages carry the sender's delay-clock stamp so that receivers can
 // account the one-delay cost causally.
 //
-// The network also provides the fault hooks the experiments need: crashing a
-// process (its sends fail and deliveries to it are dropped), partitioning the
-// process set, and a message tap that can drop or delay messages to simulate
-// asynchrony.
+// The network also provides the fault hooks the experiments and the chaos
+// harness need: crashing a process (its sends fail and deliveries to it are
+// dropped) and reviving it, partitioning the process set and healing it, a
+// message tap that can drop messages, and a per-message jitter that delays
+// deliveries to simulate asynchrony and cross-link reordering.
 package netsim
 
 import (
@@ -41,6 +42,16 @@ type Message struct {
 // asynchrony (the model itself guarantees no-loss; experiments that use taps
 // are exercising the protocols' abort/backup paths).
 type Tap func(Message) bool
+
+// Jitter computes an extra delivery delay for one message, on top of the
+// link's configured one-way delay. Because each link delivers FIFO, a
+// jittered message also holds back the messages queued behind it on the same
+// link, while other links run at full speed — so a varying Jitter reorders
+// deliveries across links exactly the way real network asynchrony does,
+// without ever violating per-link FIFO. Jitter functions run concurrently on
+// every link forwarder and must be safe for concurrent use; deriving the
+// delay from Message.Seq keeps them lock-free.
+type Jitter func(Message) time.Duration
 
 // Options configure a Network.
 type Options struct {
@@ -139,6 +150,7 @@ type Network struct {
 	crashed   types.ProcSet
 	partition map[types.ProcID]int // partition group per process; all zero = connected
 	tap       Tap
+	jitter    Jitter
 
 	counters Counters
 	seq      atomic.Uint64
@@ -218,12 +230,34 @@ func (n *Network) SetTap(tap Tap) {
 	n.tap = tap
 }
 
+// SetJitter installs an extra per-message delivery delay (nil removes it).
+// Messages already sleeping their base link delay pick the jitter up when
+// they reach the jitter point, so installation takes effect within one link
+// delay; removal likewise. See Jitter for the reordering semantics.
+func (n *Network) SetJitter(j Jitter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.jitter = j
+}
+
 // CrashProcess marks a process as crashed: its subsequent sends fail and
 // messages destined to it are dropped.
 func (n *Network) CrashProcess(p types.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.crashed = n.crashed.Add(p)
+}
+
+// ReviveProcess clears a process's crashed mark: its sends succeed and
+// deliveries to it resume. Messages dropped while it was crashed stay
+// dropped — a stalled process simply missed them — which is exactly the
+// zombie-server model: the CPU stalls, the world moves on, and when the
+// process wakes it must catch up through whatever the protocol provides
+// (lease epochs fence its stale in-flight work out).
+func (n *Network) ReviveProcess(p types.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed = n.crashed.Remove(p)
 }
 
 // ProcessCrashed reports whether p has been crashed.
@@ -336,8 +370,17 @@ func (n *Network) forward(lk *link) {
 		case <-n.ctx.Done():
 			return
 		case msg := <-lk.queue:
-			if n.opts.Delay > 0 {
-				timer := time.NewTimer(n.opts.Delay)
+			delay := n.opts.Delay
+			n.mu.RLock()
+			jitter := n.jitter
+			n.mu.RUnlock()
+			if jitter != nil {
+				if extra := jitter(msg); extra > 0 {
+					delay += extra
+				}
+			}
+			if delay > 0 {
+				timer := time.NewTimer(delay)
 				select {
 				case <-timer.C:
 				case <-n.ctx.Done():

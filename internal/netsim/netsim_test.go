@@ -309,3 +309,107 @@ func TestConcurrentSenders(t *testing.T) {
 		}
 	}
 }
+
+func TestReviveProcessRestoresFlow(t *testing.T) {
+	n := newTestNetwork(t, Options{})
+	a := n.Register(1)
+	b := n.Register(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	n.CrashProcess(1)
+	if err := a.Send(2, "dead", nil, 0); !errors.Is(err, types.ErrProcessCrashed) {
+		t.Fatalf("send from crashed process: got %v, want ErrProcessCrashed", err)
+	}
+	if !n.ProcessCrashed(1) {
+		t.Fatalf("process 1 should report crashed")
+	}
+
+	n.ReviveProcess(1)
+	if n.ProcessCrashed(1) {
+		t.Fatalf("process 1 should report revived")
+	}
+	if err := a.Send(2, "alive", []byte("x"), 0); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+	msg, err := b.Receive(ctx)
+	if err != nil {
+		t.Fatalf("receive after revive: %v", err)
+	}
+	if msg.Kind != "alive" {
+		t.Fatalf("unexpected message %+v", msg)
+	}
+}
+
+func TestJitterDelaysAndRemoval(t *testing.T) {
+	n := newTestNetwork(t, Options{})
+	a := n.Register(1)
+	b := n.Register(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	const extra = 60 * time.Millisecond
+	n.SetJitter(func(Message) time.Duration { return extra })
+	start := time.Now()
+	if err := a.Send(2, "slow", nil, 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := b.Receive(ctx); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if got := time.Since(start); got < extra {
+		t.Fatalf("jittered delivery took %v, want >= %v", got, extra)
+	}
+
+	// Removal restores fast delivery: well under the previous jitter.
+	n.SetJitter(nil)
+	start = time.Now()
+	if err := a.Send(2, "fast", nil, 0); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := b.Receive(ctx); err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if got := time.Since(start); got >= extra {
+		t.Fatalf("post-removal delivery took %v, want < %v", got, extra)
+	}
+}
+
+func TestJitterReordersAcrossLinks(t *testing.T) {
+	n := newTestNetwork(t, Options{})
+	a := n.Register(1)
+	c := n.Register(2)
+	b := n.Register(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Delay only link 1->3; link 2->3 runs at full speed, so a message sent
+	// later on the fast link overtakes the jittered one.
+	n.SetJitter(func(m Message) time.Duration {
+		if m.From == 1 {
+			return 80 * time.Millisecond
+		}
+		return 0
+	})
+	if err := a.Send(3, "slow", nil, 0); err != nil {
+		t.Fatalf("Send slow: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Send(3, "fast", nil, 0); err != nil {
+		t.Fatalf("Send fast: %v", err)
+	}
+	first, err := b.Receive(ctx)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if first.Kind != "fast" {
+		t.Fatalf("expected the un-jittered message first, got %q", first.Kind)
+	}
+	second, err := b.Receive(ctx)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if second.Kind != "slow" {
+		t.Fatalf("expected the jittered message second, got %q", second.Kind)
+	}
+}

@@ -1,0 +1,64 @@
+package kvserver_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"rdmaagreement"
+	"rdmaagreement/kvserver"
+)
+
+// The HTTP front-end from a plain http client's point of view: PUT
+// replicates through the owning shard's log, GET with linearizable=1 reads
+// with the full guarantee. Any HTTP stack works — the wire contract is
+// JSON plus a closed set of typed error codes (see internal/wire).
+func ExampleServer() {
+	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{Shards: 2})
+	if err != nil {
+		fmt.Println("store:", err)
+		return
+	}
+	defer kv.Close()
+
+	srv, err := kvserver.New(kvserver.Options{Store: kv})
+	if err != nil {
+		fmt.Println("server:", err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	base := "http://" + ln.Addr().String()
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/kv/user/42",
+		bytes.NewReader([]byte(`{"value":"hello"}`)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Println("put:", err)
+		return
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/kv/user/42?linearizable=1")
+	if err != nil {
+		fmt.Println("get:", err)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println(resp.StatusCode, string(bytes.TrimSpace(body)))
+	// Output: 200 {"value":"hello","found":true,"shard":"shard-1"}
+}
