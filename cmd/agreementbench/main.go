@@ -92,6 +92,9 @@ func run() int {
 	table := flag.String("table", "all", "experiment to run (e1..e9, or 'all')")
 	shards := flag.Int("shards", 0, "run sharded-log throughput mode with this many groups (0 = experiment tables)")
 	batch := flag.Int("batch", 8, "throughput mode: max commands agreed as one slot value")
+	batchBytes := flag.Int("batch-bytes", 0, "throughput mode: byte budget per slot value for adaptive group commit (0 = smr default, negative disables)")
+	batchWait := flag.Duration("batch-wait", 0, "throughput mode: adaptive group-commit coalescing horizon — how long a non-full batch may wait for company (0 = cut immediately)")
+	warmup := flag.Float64("warmup", 0.1, "throughput mode: warmup puts as a fraction of -ops, committed before the measurement window opens so the allocator, pools and key maps settle")
 	ops := flag.Int("ops", 1000, "throughput mode: total puts to commit")
 	clients := flag.Int("clients", 32, "throughput mode: concurrent client goroutines")
 	latency := flag.Duration("latency", time.Millisecond, "throughput mode: simulated per-operation memory latency")
@@ -177,6 +180,9 @@ func run() int {
 	cfg := throughputConfig{
 		Shards:       *shards,
 		Batch:        *batch,
+		BatchBytes:   *batchBytes,
+		BatchWait:    *batchWait,
+		Warmup:       *warmup,
 		Ops:          *ops,
 		Clients:      *clients,
 		Latency:      *latency,
@@ -365,6 +371,9 @@ func runOne(id string, runner func() (rdmaagreement.Table, error)) error {
 type throughputConfig struct {
 	Shards       int           `json:"shards"`
 	Batch        int           `json:"batch"`
+	BatchBytes   int           `json:"batch_bytes,omitempty"`
+	BatchWait    time.Duration `json:"batch_wait_ns,omitempty"`
+	Warmup       float64       `json:"warmup_frac,omitempty"`
 	Ops          int           `json:"ops"`
 	Clients      int           `json:"clients"`
 	Latency      time.Duration `json:"latency_ns"`
@@ -375,6 +384,73 @@ type throughputConfig struct {
 	Failover     bool          `json:"failover"`
 	Rebalance    bool          `json:"rebalance"`
 	Net          bool          `json:"net,omitempty"`
+}
+
+// warmupOps is how many unmeasured puts precede the measurement window.
+func (c throughputConfig) warmupOps() int {
+	if c.Warmup <= 0 || c.Ops <= 0 {
+		return 0
+	}
+	return int(float64(c.Ops) * c.Warmup)
+}
+
+// benchLogOptions is the per-group log configuration every throughput mode
+// shares, so a flag added here reaches the in-process, rebalance and served
+// variants alike.
+func benchLogOptions(cfg throughputConfig) rdmaagreement.LogOptions {
+	return rdmaagreement.LogOptions{
+		Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
+		MaxBatch:         cfg.Batch,
+		BatchBytes:       cfg.BatchBytes,
+		BatchWait:        cfg.BatchWait,
+		Pipeline:         cfg.Pipeline,
+		SnapshotInterval: cfg.SnapInterval,
+	}
+}
+
+// runWarmup commits the warmup fraction of the workload — same concurrency,
+// keys outside the measured key space — before the caller reads its memstats
+// baseline and opens the timing window. Steady-state costs (pool refills, map
+// growth already paid) then dominate the measured run instead of cold-start
+// noise, which is what makes small -ops invocations comparable.
+func runWarmup(cfg throughputConfig, put func(worker, i int) error) error {
+	n := cfg.warmupOps()
+	if n == 0 {
+		return nil
+	}
+	work := make(chan int)
+	errs := make(chan error, cfg.Clients)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range work {
+				if err := put(c, i); err != nil {
+					errs <- err
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+			}
+		}(c)
+	}
+producer:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-stop:
+			break producer
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("warmup put: %w", err)
+	}
+	return nil
 }
 
 // throughputResult is the machine-readable record -json writes and -compare
@@ -440,8 +516,12 @@ type throughputResult struct {
 	QueueDepthPeak       int64   `json:"queue_depth_peak"`
 	InflightSlotsPeak    int64   `json:"inflight_slots_peak"`
 	ReorderDepthPeak     int64   `json:"reorder_depth_peak"`
-	AllocsPerOp          float64 `json:"allocs_per_op"`
-	BytesPerOp           float64 `json:"bytes_per_op"`
+	// Adaptive group commit's chosen batch sizes (commands per cut batch).
+	BatchSizeMean float64 `json:"batch_size_mean"`
+	BatchSizeP50  float64 `json:"batch_size_p50"`
+	BatchSizeP99  float64 `json:"batch_size_p99"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
 }
 
 // fillObservability folds the store's slot-lifecycle metrics and the run's
@@ -456,6 +536,8 @@ func fillObservability(r *throughputResult, m rdmaagreement.LogMetrics, before, 
 	r.QueueDepthPeak = m.QueueDepth.Peak
 	r.InflightSlotsPeak = m.InflightSlots.Peak
 	r.ReorderDepthPeak = m.ReorderDepth.Peak
+	r.BatchSizeMean = m.BatchSize.Mean
+	r.BatchSizeP50, r.BatchSizeP99 = m.BatchSize.P50, m.BatchSize.P99
 	if ops > 0 {
 		r.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
 		r.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
@@ -466,8 +548,9 @@ func fillObservability(r *throughputResult, m rdmaagreement.LogMetrics, before, 
 		r.StageCommitWaitP50MS, r.StageCommitWaitP99MS,
 		r.StageApplyP50MS, r.StageApplyP99MS,
 		r.StageE2EP50MS, r.StageE2EP99MS)
-	fmt.Printf("  depth peaks: queue %d, inflight slots %d, reorder buffer %d; allocations %.0f/op (%.0f B/op)\n",
-		r.QueueDepthPeak, r.InflightSlotsPeak, r.ReorderDepthPeak, r.AllocsPerOp, r.BytesPerOp)
+	fmt.Printf("  depth peaks: queue %d, inflight slots %d, reorder buffer %d; batch size mean %.1f (p50 %.0f / p99 %.0f); allocations %.0f/op (%.0f B/op)\n",
+		r.QueueDepthPeak, r.InflightSlotsPeak, r.ReorderDepthPeak,
+		r.BatchSizeMean, r.BatchSizeP50, r.BatchSizeP99, r.AllocsPerOp, r.BytesPerOp)
 }
 
 // runThroughput drives a sharded KV over long-lived replicated-log groups and
@@ -475,12 +558,7 @@ func fillObservability(r *throughputResult, m rdmaagreement.LogMetrics, before, 
 // batching statistics, the snapshot/slot-GC footprint, pipeline/recovery
 // counters and (with -reads) linearizable read latency.
 func runThroughput(cfg throughputConfig, jsonPath string) error {
-	logOpts := rdmaagreement.LogOptions{
-		Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
-		MaxBatch:         cfg.Batch,
-		Pipeline:         cfg.Pipeline,
-		SnapshotInterval: cfg.SnapInterval,
-	}
+	logOpts := benchLogOptions(cfg)
 	if cfg.Failover {
 		// The first slot committed after a takeover waits one replica
 		// catch-up window for the dead leader's learner; bound it by the
@@ -500,6 +578,13 @@ func runThroughput(cfg throughputConfig, jsonPath string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+
+	if err := runWarmup(cfg, func(_, i int) error {
+		_, _, err := kv.Put(ctx, fmt.Sprintf("warm/%d", i), "w")
+		return err
+	}); err != nil {
+		return err
+	}
 
 	work := make(chan int)
 	errs := make(chan error, cfg.Clients)
@@ -689,12 +774,7 @@ producer:
 func runRebalance(cfg throughputConfig, jsonPath string) error {
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
 		Shards: cfg.Shards,
-		Log: rdmaagreement.LogOptions{
-			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
-			MaxBatch:         cfg.Batch,
-			Pipeline:         cfg.Pipeline,
-			SnapshotInterval: cfg.SnapInterval,
-		},
+		Log:    benchLogOptions(cfg),
 	})
 	if err != nil {
 		return err
@@ -704,6 +784,13 @@ func runRebalance(cfg throughputConfig, jsonPath string) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+
+	if err := runWarmup(cfg, func(_, i int) error {
+		_, _, err := kv.Put(ctx, fmt.Sprintf("warm/%d", i), "w")
+		return err
+	}); err != nil {
+		return err
+	}
 
 	var (
 		committed atomic.Int64
@@ -863,13 +950,11 @@ producer:
 			if err != nil {
 				return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
 			}
-			var probe struct {
-				Found bool `json:"found"`
-			}
-			if err := json.Unmarshal(resp, &probe); err != nil {
+			_, found, err := rdmaagreement.DecodeKVResult(resp)
+			if err != nil {
 				return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
 			}
-			if probe.Found {
+			if found {
 				homes++
 			}
 		}

@@ -34,12 +34,7 @@ import (
 func runNet(cfg throughputConfig, jsonPath string) error {
 	kv, err := rdmaagreement.NewShardedKV(rdmaagreement.ShardedKVOptions{
 		Shards: cfg.Shards,
-		Log: rdmaagreement.LogOptions{
-			Cluster:          rdmaagreement.Options{Processes: 3, Memories: 3, MemoryLatency: cfg.Latency, LeaseDuration: cfg.Lease},
-			MaxBatch:         cfg.Batch,
-			Pipeline:         cfg.Pipeline,
-			SnapshotInterval: cfg.SnapInterval,
-		},
+		Log:    benchLogOptions(cfg),
 	})
 	if err != nil {
 		return err
@@ -147,6 +142,15 @@ func runNet(cfg throughputConfig, jsonPath string) error {
 		if workers[c], err = client.New(client.Options{Endpoints: []string{base}}); err != nil {
 			return err
 		}
+	}
+
+	// Warmup rides the full served path — client, HTTP framing, server,
+	// store — so connection pools and server-side state settle too.
+	if err := runWarmup(cfg, func(c, i int) error {
+		_, _, err := workers[c].Put(ctx, fmt.Sprintf("warm/%d", i), "w")
+		return err
+	}); err != nil {
+		return err
 	}
 
 	work := make(chan int)
@@ -289,13 +293,11 @@ func runNet(cfg throughputConfig, jsonPath string) error {
 				if err != nil {
 					return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
 				}
-				var probe struct {
-					Found bool `json:"found"`
-				}
-				if err := json.Unmarshal(resp, &probe); err != nil {
+				_, found, err := rdmaagreement.DecodeKVResult(resp)
+				if err != nil {
 					return fmt.Errorf("audit read of %q on %s: %w", key, name, err)
 				}
-				if probe.Found {
+				if found {
 					homes++
 				}
 			}

@@ -64,6 +64,8 @@ func run() int {
 	latency := flag.Duration("latency", 0, "simulated one-way memory/network latency (0 = chaos default)")
 	lease := flag.Duration("lease", 0, "leader lease duration; negative disables leases and the stall fault (0 = chaos default)")
 	putPercent := flag.Int("put-percent", 0, "write share of the workload in percent (0 = chaos default)")
+	batch := flag.Int("batch", 0, "max commands agreed as one slot value (0 = smr default)")
+	batchWait := flag.Duration("batch-wait", 0, "adaptive group-commit coalescing horizon (0 = cut immediately)")
 	faults := flag.String("faults", "", "comma-separated fault kinds to enable (empty = all: "+strings.Join(chaos.AllFaults, ",")+")")
 	netMode := flag.Bool("net", false, "route half the clients through an in-process kvserver on loopback TCP and the ring-aware client package")
 	dryRun := flag.Bool("dry-run", false, "print each schedule and exit without running it")
@@ -103,6 +105,8 @@ func run() int {
 		Events:     *events,
 		Latency:    *latency,
 		Lease:      *lease,
+		Batch:      *batch,
+		BatchWait:  *batchWait,
 		PutPercent: *putPercent,
 		Faults:     kinds,
 		Served:     *netMode,

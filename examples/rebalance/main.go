@@ -20,7 +20,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"sync"
@@ -130,13 +129,11 @@ func main() {
 			if err != nil {
 				log.Fatalf("audit read on %s: %v", name, err)
 			}
-			var probe struct {
-				Found bool `json:"found"`
-			}
-			if err := json.Unmarshal(resp, &probe); err != nil {
+			_, found, err := rdmaagreement.DecodeKVResult(resp)
+			if err != nil {
 				log.Fatalf("audit read on %s: %v", name, err)
 			}
-			if probe.Found {
+			if found {
 				homes++
 			}
 		}

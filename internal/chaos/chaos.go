@@ -48,6 +48,12 @@ type Config struct {
 	// Batch and Pipeline configure each shard's log; zero keeps the smr
 	// defaults.
 	Batch, Pipeline int
+	// BatchBytes and BatchWait configure adaptive group commit per shard
+	// log (see smr.Options); zero keeps the smr defaults. A small Batch
+	// with a non-zero BatchWait drives every cut to the count budget, the
+	// boundary the displacement path re-dispatches whole.
+	BatchBytes int
+	BatchWait  time.Duration
 	// PutPercent is the write share of the workload. Default 50.
 	PutPercent int
 	// Faults enables a subset of AllFaults; nil enables all.
@@ -96,6 +102,12 @@ func (cfg Config) ReproLine() string {
 	cfg = cfg.withDefaults()
 	line := fmt.Sprintf("go run ./cmd/agreementchaos -seed %d -shards %d -clients %d -keys %d -events %d -window %s -latency %s -lease %s",
 		cfg.Seed, cfg.Shards, cfg.Clients, cfg.Keys, cfg.Events, cfg.Window, cfg.Latency, cfg.Lease)
+	if cfg.Batch != 0 {
+		line += fmt.Sprintf(" -batch %d", cfg.Batch)
+	}
+	if cfg.BatchWait != 0 {
+		line += fmt.Sprintf(" -batch-wait %s", cfg.BatchWait)
+	}
 	if cfg.Served {
 		line += " -net"
 	}
@@ -166,8 +178,10 @@ func Run(cfg Config) (Result, error) {
 				MemoryLatency: cfg.Latency,
 				LeaseDuration: cfg.Lease,
 			},
-			MaxBatch: cfg.Batch,
-			Pipeline: cfg.Pipeline,
+			MaxBatch:   cfg.Batch,
+			BatchBytes: cfg.BatchBytes,
+			BatchWait:  cfg.BatchWait,
+			Pipeline:   cfg.Pipeline,
 		},
 	})
 	if err != nil {

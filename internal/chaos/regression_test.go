@@ -18,6 +18,12 @@ import (
 //   - seed 7 in-process: the full five-kind fault mix (memcrash, stall,
 //     jitter, transfer) against the embedded store.
 //   - seed 11: a second fault ordering, kept as a diversity guard.
+//   - seed 19 batch-boundary: adaptive group commit forced to its count
+//     budget (batch ≤ 3, a 2ms coalescing horizon keeps every cut full)
+//     under a schedule with two explicit lease transfers and two stalls,
+//     so takeovers displace max-size batches mid-flight — the re-dispatch
+//     path must replay the whole batch at a later slot exactly once, with
+//     no lost or doubled command.
 var regressionSeeds = []struct {
 	name string
 	cfg  Config
@@ -25,6 +31,7 @@ var regressionSeeds = []struct {
 	{"seed7-inproc", Config{Seed: 7, Window: 1500 * time.Millisecond}},
 	{"seed7-served", Config{Seed: 7, Window: 1500 * time.Millisecond, Served: true}},
 	{"seed11-inproc", Config{Seed: 11, Window: 1500 * time.Millisecond}},
+	{"seed19-batch-boundary", Config{Seed: 19, Window: 1500 * time.Millisecond, Batch: 3, BatchWait: 2 * time.Millisecond}},
 }
 
 // TestRegressionSeeds replays every committed seed and requires a clean

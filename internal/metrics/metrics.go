@@ -270,11 +270,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Histogram returns the named histogram with the default latency bounds,
 // creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket bounds on first use (nil means the default latency bounds). The
+// bounds matter only at creation: a later lookup of the same name — with
+// different bounds, or through plain Histogram — returns the existing
+// instrument unchanged, so every recorder of a series observes into one set
+// of buckets. Bounds need not be durations semantically: a unit-valued
+// series (the committer's batch-size histogram records commands per batch as
+// 1ns units) works the same, it just reads in units instead of seconds.
+func (r *Registry) HistogramWith(name string, bounds []time.Duration) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		r.histograms[name] = h
 	}
 	return h

@@ -26,10 +26,24 @@ const (
 	// Per-stage latency histograms of the slot lifecycle.
 	metricBatchWait  = "smr_batch_wait_seconds"  // command: enqueue → dispatch
 	metricAgreement  = "smr_agreement_seconds"   // slot: dispatch → decided
-	metricCommitWait = "smr_commit_wait_seconds" // slot: decided → in-order release
+	metricCommitWait = "smr_commit_wait_seconds" // slot: decided → applier pickup
 	metricApply      = "smr_apply_seconds"       // slot: record + apply + resolve
 	metricEndToEnd   = "smr_e2e_seconds"         // command: enqueue → waiter resolved
+
+	// Unit-valued histogram: commands per cut batch, recorded as 1ns units
+	// on power-of-two bounds. How adaptive group commit tracks offered load.
+	metricBatchSize = "smr_batch_size"
 )
+
+// batchSizeBounds buckets the chosen batch sizes at powers of two through
+// MaxBatch's plausible range: 1, 2, 4, … 4096 commands.
+var batchSizeBounds = func() []time.Duration {
+	var b []time.Duration
+	for v := time.Duration(1); v <= 4096; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
 
 // logMetrics holds the committer's pre-resolved instrument handles: the hot
 // path records through these pointers and never touches the registry's map.
@@ -50,6 +64,7 @@ type logMetrics struct {
 	commitWait *metrics.Histogram
 	apply      *metrics.Histogram
 	e2e        *metrics.Histogram
+	batchSize  *metrics.Histogram
 }
 
 func newLogMetrics(reg *metrics.Registry) *logMetrics {
@@ -70,6 +85,7 @@ func newLogMetrics(reg *metrics.Registry) *logMetrics {
 		commitWait: reg.Histogram(metricCommitWait),
 		apply:      reg.Histogram(metricApply),
 		e2e:        reg.Histogram(metricEndToEnd),
+		batchSize:  reg.HistogramWith(metricBatchSize, batchSizeBounds),
 	}
 }
 
@@ -94,6 +110,30 @@ func stageOf(h *metrics.Histogram) StageLatency {
 		P90:   s.Quantile(0.90),
 		P99:   s.Quantile(0.99),
 		Max:   s.Max,
+	}
+}
+
+// SizeStats summarizes a unit-valued histogram — observations are counts
+// (commands per batch), not durations, so the summary reads in plain units.
+type SizeStats struct {
+	// Count is how many batches have been cut.
+	Count uint64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
+func sizeOf(h *metrics.Histogram) SizeStats {
+	s := h.Snapshot()
+	return SizeStats{
+		Count: s.Count,
+		Mean:  float64(s.Mean()),
+		P50:   float64(s.Quantile(0.50)),
+		P90:   float64(s.Quantile(0.90)),
+		P99:   float64(s.Quantile(0.99)),
+		Max:   float64(s.Max),
 	}
 }
 
@@ -145,6 +185,12 @@ type Metrics struct {
 	// EndToEnd is enqueue → waiter resolved, per command.
 	EndToEnd StageLatency
 
+	// BatchSize is the distribution of chosen batch sizes (commands per cut
+	// batch): how adaptive group commit is tracking offered load. Mean ≈ 1
+	// means no coalescing (every command rides its own slot); a mean near
+	// the client count means the drain is absorbing the whole queue.
+	BatchSize SizeStats
+
 	// QueueDepth is the pending queue (commands + barriers not yet taken
 	// into a batch).
 	QueueDepth GaugeStats
@@ -170,6 +216,7 @@ func MetricsFrom(reg *metrics.Registry) Metrics {
 		CommitWait:    stageOf(reg.Histogram(metricCommitWait)),
 		Apply:         stageOf(reg.Histogram(metricApply)),
 		EndToEnd:      stageOf(reg.Histogram(metricEndToEnd)),
+		BatchSize:     sizeOf(reg.HistogramWith(metricBatchSize, batchSizeBounds)),
 		QueueDepth:    gaugeOf(reg.Gauge(metricQueueDepth)),
 		InflightSlots: gaugeOf(reg.Gauge(metricInflight)),
 		ReorderDepth:  gaugeOf(reg.Gauge(metricReorder)),

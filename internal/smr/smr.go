@@ -56,7 +56,6 @@ package smr
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -96,6 +95,23 @@ type Options struct {
 	// MaxBatch bounds how many queued commands are agreed as one slot value.
 	// Zero means 64.
 	MaxBatch int
+	// BatchBytes bounds the total command payload bytes coalesced into one
+	// slot value: the dispatcher absorbs the whole pending queue into a
+	// batch until MaxBatch commands or BatchBytes bytes, whichever binds
+	// first (a single oversized command still ships alone — the budget
+	// splits batches, it never rejects commands). Zero means 256 KiB;
+	// negative disables the byte budget.
+	BatchBytes int
+	// BatchWait is the coalescing horizon of adaptive group commit: when
+	// the pending queue holds fewer commands than the budgets allow, the
+	// dispatcher waits up to BatchWait — measured from the oldest queued
+	// command's enqueue — for more arrivals before cutting the batch, so
+	// batch size tracks offered load instead of whatever fragment the
+	// scheduler happened to deliver. A full budget or a queued read barrier
+	// cuts immediately regardless (reads never wait on the horizon). Zero
+	// means no horizon: every dispatch drains whatever is queued right
+	// away, the pre-adaptive behavior.
+	BatchWait time.Duration
 	// Pipeline is the maximum number of slots the committer keeps in flight
 	// concurrently. Each in-flight slot runs on its own consensus instance
 	// over the shared cluster, so slot agreement latency overlaps instead of
@@ -123,10 +139,13 @@ type Options struct {
 	// bookkeeping). Zero means 5s.
 	ReplicaCatchUp time.Duration
 	// OnCommit, if set, is called once per committed entry in index order
-	// from the committer goroutine. Callbacks must be fast; they serialize
-	// the log. State machines should be plugged in via NewSM; OnCommit is an
-	// observability hook, not the application path. Entry.Rejected tells the
-	// hook whether Apply refused the entry (committed but no state changed).
+	// from the committer's applier goroutine. Callbacks must be fast; they
+	// serialize the log. State machines should be plugged in via NewSM;
+	// OnCommit is an observability hook, not the application path.
+	// Entry.Rejected tells the hook whether Apply refused the entry
+	// (committed but no state changed). Like Apply, the hook receives
+	// Entry.Cmd zero-copy: treat it as read-only and copy it before
+	// retaining it past the call.
 	OnCommit func(Entry)
 	// Metrics is the registry the group's slot-lifecycle instrumentation
 	// records into: per-stage latency histograms, queue-depth gauges and
@@ -153,6 +172,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
+	}
+	if o.BatchBytes == 0 {
+		o.BatchBytes = 256 << 10
 	}
 	if o.Pipeline == 0 {
 		o.Pipeline = 4
@@ -191,36 +213,21 @@ type Entry struct {
 // tagged with their submitting log's identity, so a proposer can tell whether
 // the decided batch is its own. A batch with zero commands is a no-op slot,
 // committed by Read/ReadFrom as the read-index barrier when no writes are
-// queued alongside.
+// queued alongside, and by recovery rounds to learn an ambiguous slot's fate.
 //
 // The origin/ID plumbing is what keeps multi-proposer slots honest — and
 // with leases the multi-proposer case is real: across a takeover the old
 // epoch's batch and the new holder's fencing no-op compete for the same
 // slot, and a slot lost to a competitor must commit the competitor's batch
 // and retry (or fail) ours, never mislabel it.
+//
+// On the wire a batch is the length-prefixed binary framing in codec.go; the
+// json tags survive only for the legacy decode path (values written by the
+// pre-binary format, replayed through recovery or a mixed-version restart).
 type wireBatch struct {
 	Origin uint64   `json:"origin"`
 	IDs    []uint64 `json:"ids"`
 	Cmds   [][]byte `json:"cmds"`
-}
-
-func (b wireBatch) encode() (types.Value, error) {
-	out, err := json.Marshal(b)
-	if err != nil {
-		return nil, fmt.Errorf("encode batch: %w", err)
-	}
-	return out, nil
-}
-
-func decodeBatch(raw types.Value) (wireBatch, error) {
-	var b wireBatch
-	if err := json.Unmarshal(raw, &b); err != nil {
-		return wireBatch{}, fmt.Errorf("decode batch: %w", err)
-	}
-	if len(b.IDs) != len(b.Cmds) {
-		return wireBatch{}, fmt.Errorf("decode batch: %d ids for %d commands", len(b.IDs), len(b.Cmds))
-	}
-	return b, nil
 }
 
 // Stats are per-group counters of the committer's recovery, lease and
@@ -334,6 +341,8 @@ type Log struct {
 	closed       bool
 	failure      error      // set when the committer halts on an unrecoverable slot
 	applied      *sync.Cond // on mu: broadcast when a view advances, or on close/halt
+
+	applyByID map[uint64]int // recordSlot scratch (applier-only): command id → result offset
 
 	notify chan struct{}
 	cancel context.CancelFunc
@@ -1019,14 +1028,25 @@ type slotOutcome struct {
 	err       error
 }
 
-// commitLoop is the committer's dispatcher: it drains the queue into batches,
-// keeps up to Options.Pipeline slots in flight — each driven end to end by
-// its own worker goroutine over its own consensus instance — and applies the
-// decided slots to the state machine strictly in slot order through a reorder
-// buffer. Commit order therefore stays gap-free even when slot agreements
-// complete out of order, and every prefix-derived artifact (Propose
-// responses, read barriers, snapshots, slot GC) is keyed to the contiguous
-// applied prefix, never to the highest decided slot.
+// commitLoop is the committer's dispatcher: it drains the queue into batches
+// (adaptively coalesced up to the byte/count budgets and the BatchWait
+// horizon), keeps up to Options.Pipeline slots in flight — each driven end to
+// end by its own worker goroutine over its own consensus instance — and
+// forwards the decided slots in slot order, through a reorder buffer, to the
+// group's applier goroutine. Commit order therefore stays gap-free even when
+// slot agreements complete out of order, and every prefix-derived artifact
+// (Propose responses, read barriers, snapshots, slot GC) is keyed to the
+// contiguous applied prefix, never to the highest decided slot.
+//
+// The dispatcher/applier split is what makes apply work overlap agreement:
+// while the applier grinds through a decided slot (or an O(state) snapshot),
+// the dispatcher keeps cutting batches and driving consensus — and since
+// every Log owns its own applier, one group's slow apply never stalls a
+// sibling group's. Won/displaced is decided here, at result-receipt time, by
+// peeking the decided value's origin tag: a displaced batch re-dispatches
+// immediately instead of waiting for its losing slot to drain through the
+// in-order apply path, so the re-proposals of multiple ambiguous slots run
+// concurrently, bounded only by the pipeline depth.
 func (l *Log) commitLoop(ctx context.Context) {
 	defer l.wg.Done()
 	depth := l.opts.Pipeline // live adaptive depth, ≤ Options.Pipeline
@@ -1040,8 +1060,50 @@ func (l *Log) commitLoop(ctx context.Context) {
 	reorder := make(map[uint64]slotOutcome) // decided out of order, awaiting their turn
 	var retry []work                        // displaced batches, re-dispatched before new work
 	nextSlot := uint64(0)                   // next slot to hand to a worker
-	nextApply := uint64(0)                  // next slot to apply (== firstSlot + len(slots))
+	nextApply := uint64(0)                  // next slot to forward (== firstSlot + len(slots) eventually)
 	inflight := 0
+
+	// The applier: decided slots arrive in slot order and are recorded,
+	// applied and resolved there. The buffer lets agreement run ahead of a
+	// slow apply by a few pipelines' worth before backpressure reaches the
+	// dispatcher. applyFailed is buffered so a failing applier never blocks
+	// reporting; it keeps draining applyCh (failing the batches) until the
+	// channel closes.
+	applyCh := make(chan slotOutcome, 4*l.opts.Pipeline+16)
+	applyFailed := make(chan error, 1)
+	applierDone := make(chan struct{})
+	go l.applyLoop(applyCh, applyFailed, applierDone)
+
+	// The BatchWait horizon timer: armed when takeBatch reports the queue is
+	// holding for more arrivals, nil (blocking forever) otherwise.
+	var batchTimer *time.Timer
+	var batchC <-chan time.Time
+	armBatchTimer := func(d time.Duration) {
+		if batchTimer == nil {
+			batchTimer = time.NewTimer(d)
+			batchC = batchTimer.C
+			return
+		}
+		if batchC == nil {
+			// Fired and observed: the channel is drained, safe to reuse.
+			batchTimer.Reset(d)
+			batchC = batchTimer.C
+			return
+		}
+		if !batchTimer.Stop() {
+			select {
+			case <-batchTimer.C:
+			default:
+			}
+		}
+		batchTimer.Reset(d)
+		batchC = batchTimer.C
+	}
+	defer func() {
+		if batchTimer != nil {
+			batchTimer.Stop()
+		}
+	}()
 
 	// setDepth tracks the live adaptive depth in Stats.PipelineDepth.
 	setDepth := func(d int) {
@@ -1073,47 +1135,40 @@ func (l *Log) commitLoop(ctx context.Context) {
 			cleanStreak = 0
 		}
 	}
-	// settle commits a decided slot from the reorder buffer: record it,
-	// resolve or re-dispatch its batch, snapshot if due. It reports whether
-	// the dispatcher may continue (false = recordSlot failed; the caller
-	// owns the batch and the halt). With draining set (the terminate path)
-	// a displaced batch always lands on the retry list instead of being
-	// failed with ErrLeaseLost: terminate owns those waiters and fails them
-	// with ErrClosed/ErrHalted per its contract — telling them "safe to
-	// retry" on a closing or halting group would be a lie.
-	settle := func(r slotOutcome, draining bool) (bool, error) {
-		// CommitWait closes when the slot leaves the reorder buffer; Apply
-		// spans the in-order commit step itself.
-		l.m.commitWait.Observe(time.Since(r.decidedAt))
-		applyStart := time.Now()
-		won, err := l.recordSlot(r.slot, r.decided, commandsOf(r.w.batch), SlotDecider{Proposer: r.proposer, Epoch: r.epoch})
-		if err != nil {
-			return false, err
+	// receive settles won-vs-displaced at receipt time. A batch that lost
+	// its slot to a competitor — a recovery or fencing no-op, or a foreign
+	// batch — is re-dispatched (or failed) HERE, before the losing slot
+	// reaches the applier: that is what pipelines the recovery path, because
+	// the re-proposal no longer serializes behind the in-order apply of the
+	// slot it lost. Only fence-induced displacements count toward the
+	// ErrLeaseLost cap: a takeover may displace a batch exactly once, while
+	// timeout-recovery displacement keeps the retry-until-commit semantics
+	// (no leadership change to blame). With draining set (the terminate
+	// path) a displaced batch always lands on the retry list instead of
+	// being failed with ErrLeaseLost: terminate owns those waiters and fails
+	// them with ErrClosed/ErrHalted per its contract — telling them "safe to
+	// retry" on a closing or halting group would be a lie. If the origin
+	// peek fails (a decided value that does not decode), the batch rides to
+	// the applier untouched: recordSlot will fail on the same bytes and the
+	// halt path owns the waiters.
+	receive := func(res slotOutcome, draining bool) slotOutcome {
+		if len(res.w.batch) == 0 {
+			return res
 		}
-		l.m.apply.Observe(time.Since(applyStart))
-		l.m.slots.Inc()
-		nextApply++
-		if won {
-			l.resolveBarriers(barriersOf(r.w.batch))
-		} else if len(r.w.batch) > 0 {
-			// A competitor — a recovery or fencing no-op, or a foreign
-			// batch — occupied the slot; ours is re-dispatched at a later
-			// one. Only fence-induced displacements count toward the
-			// ErrLeaseLost cap: a takeover may displace a batch exactly
-			// once, while timeout-recovery displacement keeps the
-			// retry-until-commit semantics (no leadership change to
-			// blame).
-			if r.fenced {
-				r.w.displaced++
-			}
-			if r.w.displaced >= maxDisplacements && !draining {
-				l.failWork(r.w, fmt.Errorf("%w (displaced %d times)", ErrLeaseLost, r.w.displaced))
-			} else {
-				retry = append(retry, r.w)
-			}
+		origin, err := peekOrigin(res.decided)
+		if err != nil || origin == l.origin {
+			return res
 		}
-		l.maybeSnapshot()
-		return true, nil
+		if res.fenced {
+			res.w.displaced++
+		}
+		if res.w.displaced >= maxDisplacements && !draining {
+			l.failWork(res.w, fmt.Errorf("%w (displaced %d times)", ErrLeaseLost, res.w.displaced))
+		} else {
+			retry = append(retry, res.w)
+		}
+		res.w.batch = nil
+		return res
 	}
 
 	// terminate ends the committer: on Close it is a clean shutdown and the
@@ -1121,12 +1176,13 @@ func (l *Log) commitLoop(ctx context.Context) {
 	// other cause the group halts permanently with ErrHalted wrapping it.
 	// Every in-flight worker is cancelled and drained first, and the
 	// decided slots that are contiguous with the applied prefix are still
-	// committed on the way out: their values are durable and the replica
-	// learner views have already observed them (recordReplica runs in the
-	// workers), so discarding them would fork StaleRead/ReplicaLog from the
-	// authoritative log and tell a durably-committed command's waiter it
-	// never committed. Only then is everything beyond the failed slot's gap
-	// — decided-but-unappliable, displaced, still queued — told exactly
+	// forwarded to the applier on the way out: their values are durable and
+	// the replica learner views have already observed them (recordReplica
+	// runs in the workers), so discarding them would fork StaleRead/
+	// ReplicaLog from the authoritative log and tell a durably-committed
+	// command's waiter it never committed. Only after the applier has
+	// drained and exited is everything beyond the failed slot's gap —
+	// decided-but-unforwardable, displaced, still queued — told exactly
 	// once.
 	terminate := func(cause error, last []queued) {
 		cancelWorkers()
@@ -1138,6 +1194,7 @@ func (l *Log) commitLoop(ctx context.Context) {
 			if res.err != nil {
 				failed = append(failed, res.w.batch)
 			} else {
+				res = receive(res, true)
 				reorder[res.slot] = res
 				l.m.reorder.Add(1)
 			}
@@ -1149,10 +1206,8 @@ func (l *Log) commitLoop(ctx context.Context) {
 			}
 			delete(reorder, nextApply)
 			l.m.reorder.Add(-1)
-			if ok, _ := settle(r, true); !ok {
-				failed = append(failed, r.w.batch)
-				break
-			}
+			nextApply++
+			applyCh <- r
 		}
 		for _, res := range reorder {
 			failed = append(failed, res.w.batch)
@@ -1161,6 +1216,8 @@ func (l *Log) commitLoop(ctx context.Context) {
 		for _, w := range retry {
 			failed = append(failed, w.batch)
 		}
+		close(applyCh)
+		<-applierDone // batches forwarded above are resolved (or failed) by now
 		l.mu.Lock()
 		closed := l.closed
 		l.mu.Unlock()
@@ -1184,9 +1241,12 @@ func (l *Log) commitLoop(ctx context.Context) {
 			if len(retry) > 0 {
 				w = retry[0]
 				retry = retry[1:]
-			} else if batch := l.takeBatch(); batch != nil {
+			} else if batch, wait := l.takeBatch(); batch != nil {
 				w = work{batch: batch}
 			} else {
+				if wait > 0 {
+					armBatchTimer(wait)
+				}
 				break
 			}
 			slot := nextSlot
@@ -1198,22 +1258,18 @@ func (l *Log) commitLoop(ctx context.Context) {
 			go l.driveSlot(workerCtx, slot, w, results)
 		}
 
-		if inflight == 0 {
-			select {
-			case <-ctx.Done():
-				terminate(ctx.Err(), nil)
-				return
-			case <-l.notify:
-				continue
-			}
-		}
-
 		select {
 		case <-ctx.Done():
 			terminate(ctx.Err(), nil)
 			return
+		case err := <-applyFailed:
+			terminate(err, nil)
+			return
 		case <-l.notify:
 			continue // fill the remaining pipeline slots
+		case <-batchC:
+			batchC = nil // horizon expired: cut whatever is queued
+			continue
 		case res := <-results:
 			inflight--
 			l.m.inflight.Add(-1)
@@ -1223,9 +1279,10 @@ func (l *Log) commitLoop(ctx context.Context) {
 			}
 			l.m.agreement.Observe(res.decidedAt.Sub(res.w.dispatchedAt))
 			adapt(res.recovered && !res.fenced)
+			res = receive(res, false)
 			reorder[res.slot] = res
 			l.m.reorder.Add(1)
-			// Apply the contiguous decided prefix in slot order; slots
+			// Forward the contiguous decided prefix in slot order; slots
 			// decided ahead of a still-running predecessor wait in the
 			// buffer. The reorder buffer is epoch-agnostic: slots decided
 			// under different lease epochs interleave through it unchanged,
@@ -1237,12 +1294,66 @@ func (l *Log) commitLoop(ctx context.Context) {
 				}
 				delete(reorder, nextApply)
 				l.m.reorder.Add(-1)
-				if ok, err := settle(r, false); !ok {
-					terminate(err, r.w.batch)
-					return
-				}
+				nextApply++
+				applyCh <- r
 			}
 		}
+	}
+}
+
+// applyLoop is the group's applier: decided slots arrive strictly in slot
+// order and are recorded into the log, applied to the authoritative machine
+// and resolved to their waiters here, off the dispatcher's critical path. The
+// applier is the sole writer of the authoritative machine and the sole
+// snapshot/truncation driver, which is the safety argument maybeSnapshot
+// leans on. If recordSlot fails — a decided value that does not decode, or an
+// own batch decided without one of its commands — the applier reports the
+// cause to the dispatcher (which terminates the group) and fails every
+// subsequent forwarded batch until the channel closes: once the in-order
+// prefix has a gap, nothing behind it may apply.
+func (l *Log) applyLoop(in <-chan slotOutcome, failedOut chan<- error, done chan<- struct{}) {
+	defer close(done)
+	var failed error
+	for r := range in {
+		if failed != nil {
+			l.failBatchTerminal(r.w.batch, failed)
+			continue
+		}
+		// CommitWait closes when the applier picks the slot up; Apply spans
+		// the in-order commit step itself.
+		l.m.commitWait.Observe(time.Since(r.decidedAt))
+		applyStart := time.Now()
+		won, err := l.recordSlot(r.slot, r.decided, r.w.batch, SlotDecider{Proposer: r.proposer, Epoch: r.epoch})
+		if err != nil {
+			failed = err
+			failedOut <- err
+			l.failBatchTerminal(r.w.batch, err)
+			continue
+		}
+		l.m.apply.Observe(time.Since(applyStart))
+		l.m.slots.Inc()
+		if won {
+			l.resolveBarriers(barriersOf(r.w.batch))
+		}
+		l.maybeSnapshot()
+	}
+}
+
+// failBatchTerminal resolves a forwarded batch's waiters on the applier's
+// failure path, with the same closed-vs-halted wrapping terminate uses.
+func (l *Log) failBatchTerminal(batch []queued, cause error) {
+	if len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	wrapped := fmt.Errorf("%w before command committed", ErrClosed)
+	if !closed {
+		wrapped = fmt.Errorf("%w: %w", ErrHalted, cause)
+	}
+	for _, q := range batch {
+		q.done <- proposeResult{err: wrapped}
 	}
 }
 
@@ -1255,18 +1366,8 @@ func (l *Log) failWork(w work, err error) {
 	}
 }
 
-// commandsOf and barriersOf split a batch into its command waiters and its
-// read barriers.
-func commandsOf(batch []queued) []queued {
-	cmds := make([]queued, 0, len(batch))
-	for _, q := range batch {
-		if !q.barrier {
-			cmds = append(cmds, q)
-		}
-	}
-	return cmds
-}
-
+// barriersOf extracts a batch's read barriers (the hot path iterates batches
+// in place; only the barrier-resolution tail materializes a subset).
 func barriersOf(batch []queued) []queued {
 	var barriers []queued
 	for _, q := range batch {
@@ -1277,27 +1378,52 @@ func barriersOf(batch []queued) []queued {
 	return barriers
 }
 
-// takeBatch removes up to MaxBatch commands from the queue, along with every
-// read barrier queued among or immediately after them. Barriers contribute
-// nothing to the slot value, so they do not count against MaxBatch — a burst
-// of Reads must not shrink or displace a write batch. Riding the same slot is
-// also the cheapest correct place for them: the read index then covers the
-// batch's own writes too, which only makes the reads fresher.
-func (l *Log) takeBatch() []queued {
+// takeBatch is the adaptive group-commit drain: it absorbs the whole pending
+// queue into one batch, up to MaxBatch commands or BatchBytes payload bytes
+// (whichever binds first), along with every read barrier queued among or
+// immediately after them. Barriers contribute nothing to the slot value, so
+// they do not count against either budget — a burst of Reads must not shrink
+// or displace a write batch. Riding the same slot is also the cheapest
+// correct place for them: the read index then covers the batch's own writes
+// too, which only makes the reads fresher.
+//
+// When a BatchWait horizon is configured and neither budget is full, a young
+// queue is held back: takeBatch returns (nil, wait) with wait > 0, telling
+// the dispatcher how long until the oldest queued command has waited the
+// full horizon — batch size then tracks offered load instead of whatever
+// fragment the scheduler delivered between two dispatcher wakeups. A queued
+// barrier always cuts immediately: reads never wait on the horizon.
+func (l *Log) takeBatch() ([]queued, time.Duration) {
 	l.mu.Lock()
 	if len(l.pending) == 0 {
 		l.mu.Unlock()
-		return nil
+		return nil, 0
 	}
-	n, cmds := 0, 0
+	n, cmds, size := 0, 0, 0
+	full, barrier := false, false
 	for n < len(l.pending) {
-		if !l.pending[n].barrier {
+		q := &l.pending[n]
+		if !q.barrier {
 			if cmds == l.opts.MaxBatch {
+				full = true
+				break
+			}
+			if cmds > 0 && l.opts.BatchBytes > 0 && size+len(q.cmd) > l.opts.BatchBytes {
+				full = true
 				break
 			}
 			cmds++
+			size += len(q.cmd)
+		} else {
+			barrier = true
 		}
 		n++
+	}
+	if !full && !barrier && l.opts.BatchWait > 0 {
+		if wait := l.opts.BatchWait - time.Since(l.pending[0].enqueuedAt); wait > 0 {
+			l.mu.Unlock()
+			return nil, wait
+		}
 	}
 	batch := l.pending[:n:n]
 	l.pending = append([]queued(nil), l.pending[n:]...)
@@ -1311,8 +1437,12 @@ func (l *Log) takeBatch() []queued {
 			l.m.batchWait.Observe(now.Sub(q.enqueuedAt))
 		}
 	}
+	if cmds > 0 {
+		// The chosen batch size, in commands, on the unit-valued histogram.
+		l.m.batchSize.Observe(time.Duration(cmds))
+	}
 	l.m.queueDepth.Add(-int64(n))
-	return batch
+	return batch, 0
 }
 
 // halt permanently halts the log: the cause is recorded (subsequent Propose
@@ -1357,17 +1487,9 @@ func (l *Log) driveSlot(ctx context.Context, slot uint64, w work, results chan<-
 
 func (l *Log) commitSlot(ctx context.Context, slot uint64, w work) slotOutcome {
 	out := slotOutcome{slot: slot, w: w}
-	cmds := commandsOf(w.batch)
-	proposal := wireBatch{Origin: l.origin, IDs: make([]uint64, 0, len(cmds)), Cmds: make([][]byte, 0, len(cmds))}
-	for _, q := range cmds {
-		proposal.IDs = append(proposal.IDs, q.id)
-		proposal.Cmds = append(proposal.Cmds, q.cmd)
-	}
-	blob, err := proposal.encode()
-	if err != nil {
-		out.err = err
-		return out
-	}
+	// One flat, right-sized allocation per slot: the binary framing is built
+	// straight from the batch, barriers skipped in place.
+	blob := encodeBatchFrom(l.origin, w.batch)
 
 	holder, epoch, epochCtx := l.leaseView()
 	inst, err := l.cluster.NewInstance(slot)
@@ -1468,10 +1590,7 @@ func (l *Log) recoverSlot(ctx context.Context, slot uint64, originalBlob types.V
 		proposer := l.recoveryProposer(holder, originalProposer)
 		blob, noop := originalBlob, false
 		if proposer != originalProposer {
-			var err error
-			if blob, err = (wireBatch{}).encode(); err != nil {
-				return nil, types.NoProcess, 0, err
-			}
+			blob = (wireBatch{}).encode()
 			noop = true
 		}
 		inst, err := l.cluster.NewRecoveryInstance(slot, proposer)
@@ -1537,7 +1656,7 @@ func (l *Log) noteRecovery(decided types.Value, noop bool) bool {
 	if !noop {
 		return false // same-value re-propose: the fate was forced, not read
 	}
-	if b, err := decodeBatch(decided); err == nil && b.Origin == l.origin {
+	if origin, err := peekOrigin(decided); err == nil && origin == l.origin {
 		l.stats.Refused++
 		return true
 	}
@@ -1634,26 +1753,29 @@ func (l *Log) markLagging(p types.ProcID) {
 }
 
 // recordReplica stores the slot value replica p learned and advances p's
-// state machine through every consecutively-learned slot.
+// state machine through every consecutively-learned slot. The decided value
+// is retained as handed in — the protocol substrate returns a private copy
+// per read — and the entries applied to the view alias it, per the
+// StateMachine read-only contract on Entry.Cmd.
 func (l *Log) recordReplica(p types.ProcID, slot uint64, v types.Value) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	view := l.replicas[p]
-	view.learned[slot] = v.Clone()
+	view.learned[slot] = v
+	b := borrowBatch()
+	defer releaseBatch(b)
 	for {
 		raw, ok := view.learned[view.nextSlot]
 		if !ok {
 			return
 		}
-		b, err := decodeBatch(raw)
-		if err != nil {
+		if err := decodeBatchInto(b, raw); err != nil {
 			return // a decided value must decode; leave the view stuck rather than skip
 		}
 		for _, cmd := range b.Cmds {
-			e := Entry{Index: view.nextIndex, Slot: view.nextSlot, Cmd: append([]byte(nil), cmd...)}
 			// Application-level rejections are deterministic: every view
 			// rejects the same entries the authoritative machine rejected.
-			view.sm.Apply(e)
+			view.sm.Apply(Entry{Index: view.nextIndex, Slot: view.nextSlot, Cmd: cmd})
 			view.nextIndex++
 		}
 		view.nextSlot++
@@ -1663,62 +1785,86 @@ func (l *Log) recordReplica(p types.ProcID, slot uint64, v types.Value) {
 
 // recordSlot appends the decided batch to the committed log, applies it to
 // the authoritative state machine, records who decided the slot under which
-// epoch, and resolves the waiters whose commands it contains. It reports
+// epoch, and resolves the waiters whose commands it contains (batch is the
+// dispatched batch when the slot is ours, empty or stripped otherwise;
+// barriers in it are skipped here and resolved by the caller). It reports
 // whether the proposed batch won the slot.
-func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by SlotDecider) (bool, error) {
-	b, err := decodeBatch(decided)
-	if err != nil {
+//
+// Called only from the applier goroutine. The decided value is retained
+// as-is — the protocol substrate hands back a private copy — and the log's
+// entries alias subslices of it: decided values are immutable, the slot
+// window retains the backing array, and StateMachine.Apply/OnCommit must
+// treat Entry.Cmd as read-only. Get/Entries still clone outward.
+func (l *Log) recordSlot(slot uint64, decided types.Value, batch []queued, by SlotDecider) (bool, error) {
+	b := borrowBatch()
+	defer releaseBatch(b)
+	if err := decodeBatchInto(b, decided); err != nil {
 		return false, fmt.Errorf("smr slot %d: %w", slot, err)
 	}
 
 	l.mu.Lock()
-	l.slots = append(l.slots, decided.Clone())
+	l.slots = append(l.slots, decided)
 	l.deciders[slot] = by
 	l.sinceSlots++
-	committed := make([]Entry, 0, len(b.Cmds))
+	first := len(l.entries)
 	results := make([]proposeResult, 0, len(b.Cmds))
 	for _, cmd := range b.Cmds {
-		e := Entry{Index: l.firstIndex + uint64(len(l.entries)), Slot: slot, Cmd: append([]byte(nil), cmd...)}
-		resp, applyErr := l.sm.Apply(cloneEntry(e))
+		e := Entry{Index: l.firstIndex + uint64(len(l.entries)), Slot: slot, Cmd: cmd}
+		resp, applyErr := l.sm.Apply(e)
 		e.Rejected = applyErr != nil
 		l.entries = append(l.entries, e)
-		committed = append(committed, e)
 		l.sinceSnap++
 		results = append(results, proposeResult{index: e.Index, resp: resp, err: applyErr})
 	}
+	// The tail just appended is stable off-lock: only the applier (this
+	// goroutine) appends or truncates entries, and truncation swaps the
+	// slice header without touching the old array.
+	committed := l.entries[first:]
 	onCommit := l.opts.OnCommit
 	l.mu.Unlock()
 	l.m.committed.Add(uint64(len(b.Cmds)))
 
 	if onCommit != nil {
 		for _, e := range committed {
-			onCommit(cloneEntry(e))
+			onCommit(e)
 		}
 	}
 
 	won := b.Origin == l.origin
 	if won {
-		byID := make(map[uint64]int, len(b.IDs)) // command id -> results offset
+		if l.applyByID == nil {
+			l.applyByID = make(map[uint64]int, len(b.IDs))
+		}
+		byID := l.applyByID // command id -> results offset; applier-only scratch
+		clear(byID)
 		for i, id := range b.IDs {
 			byID[id] = i
 		}
 		// Validate the whole batch before resolving any waiter: each done
 		// channel holds exactly one result, so a mid-loop error after some
-		// sends would leave commitLoop's error path double-sending into
-		// full buffers (a committer deadlock). Either every command
-		// resolves here or none does and the error path owns them all.
-		resolved := make([]proposeResult, len(cmds))
-		for i, q := range cmds {
+		// sends would leave the terminate path double-sending into full
+		// buffers (a committer deadlock). Either every command resolves
+		// here or none does and the error path owns them all.
+		resolved := make([]proposeResult, 0, len(batch))
+		for _, q := range batch {
+			if q.barrier {
+				continue
+			}
 			ri, ok := byID[q.id]
 			if !ok {
 				return false, fmt.Errorf("smr slot %d: own batch decided without command %d", slot, q.id)
 			}
-			resolved[i] = results[ri]
+			resolved = append(resolved, results[ri])
 		}
 		now := time.Now()
-		for i, q := range cmds {
+		i := 0
+		for _, q := range batch {
+			if q.barrier {
+				continue
+			}
 			l.m.e2e.Observe(now.Sub(q.enqueuedAt))
 			q.done <- resolved[i]
+			i++
 		}
 	}
 	return won, nil
@@ -1734,20 +1880,23 @@ func (l *Log) recordSlot(slot uint64, decided types.Value, cmds []queued, by Slo
 // waiting for its learner — a replica that is genuinely dead simply re-lags
 // after one catch-up window, costing at most one window per interval.
 //
-// Called only from the committer's dispatcher goroutine. The O(state) work —
-// serializing the authoritative machine, deserializing replacement machines
-// for lagging views, releasing the dead slots' regions — all runs OUTSIDE
-// l.mu, so reads and submissions proceed during it; the lock covers only the
-// truncation bookkeeping and the pointer swaps that install restored views.
-// That is safe because the dispatcher is the sole writer of the
-// authoritative machine, and the pipeline workers that advance view progress
-// concurrently (their learner goroutines record decisions of in-flight
-// slots) can never move a behind view across the truncation point: its next
-// slot's learned value was deleted by the truncation, workers only ever
-// record slots above the applied prefix, and both the deletion and the
-// restored-view swap happen under l.mu. Released regions are never read
-// again once truncation is decided — every released slot is below the
-// applied prefix, and in-flight slots are all above it.
+// Called only from the committer's applier goroutine — and that it runs
+// there, not on the dispatcher, is the point of the split: an O(state)
+// snapshot no longer freezes batch cutting or slot dispatch, it only delays
+// subsequent applies of this one group. The O(state) work — serializing the
+// authoritative machine, deserializing replacement machines for lagging
+// views, releasing the dead slots' regions — all runs OUTSIDE l.mu, so reads
+// and submissions proceed during it; the lock covers only the truncation
+// bookkeeping and the pointer swaps that install restored views. That is
+// safe because the applier is the sole writer of the authoritative machine
+// (and the sole appender/truncator of the committed log), and the pipeline
+// workers that advance view progress concurrently (their learner goroutines
+// record decisions of in-flight slots) can never move a behind view across
+// the truncation point: its next slot's learned value was deleted by the
+// truncation, workers only ever record slots above the applied prefix, and
+// both the deletion and the restored-view swap happen under l.mu. Released
+// regions are never read again once truncation is decided — every released
+// slot is below the applied prefix, and in-flight slots are all above it.
 func (l *Log) maybeSnapshot() {
 	l.mu.Lock()
 	interval := l.opts.SnapshotInterval

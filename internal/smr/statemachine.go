@@ -38,13 +38,16 @@ var (
 // The log serializes every call — no two methods of one machine instance ever
 // run concurrently (Apply and Query run under the log's lock, which also
 // serializes the pipeline workers that drive replica views; Snapshot and the
-// Restore of a replacement machine run on the committer's dispatcher
-// goroutine, which is the only other caller and the sole driver of the
-// authoritative machine) — so implementations need no internal
-// synchronization. They
+// Restore of a replacement machine run on the committer's applier goroutine,
+// which is the only other caller and the sole driver of the authoritative
+// machine) — so implementations need no internal synchronization. They
 // must not call back into the Log, and Apply must be deterministic: every
 // replica applies the identical entry sequence and must reach the identical
 // state.
+//
+// Entry.Cmd is handed to Apply zero-copy: it aliases the decided slot value
+// the log retains, so implementations must treat it as read-only and must
+// not hold onto it past the call (copy it if the state needs the bytes).
 type StateMachine interface {
 	// Apply executes one committed entry and returns the response delivered
 	// to the Propose caller. An error is an application-level rejection: the

@@ -3,6 +3,7 @@ package rdmaagreement
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,8 +14,14 @@ import (
 // shard's log by other clients (raw Log.Propose) lack the tag and are
 // reported as foreign instead of being guessed at: before the tag existed,
 // any blob that happened to json.Unmarshal (`null`, `{}`) was silently
-// applied as a KV write. The trailing byte versions the wire format.
-var kvMagic = []byte("rkv\x00\x01")
+// applied as a KV write. The trailing byte versions the wire format:
+// version 2 is the binary framing (magic | keylen uvarint | key | value),
+// version 1 the original JSON object, still decoded for entries already
+// committed by older code.
+var (
+	kvMagic     = []byte("rkv\x00\x02")
+	kvMagicJSON = []byte("rkv\x00\x01")
+)
 
 // ErrForeignCommand is the response of the KV state machine to a committed
 // entry that does not carry the KV wire tag. The entry stays in the log
@@ -36,32 +43,67 @@ type kvResult struct {
 }
 
 func encodeKVCommand(key, value string) ([]byte, error) {
-	blob, err := json.Marshal(kvCommand{Key: key, Value: value})
-	if err != nil {
-		return nil, fmt.Errorf("kv: encode: %w", err)
-	}
-	return append(append([]byte(nil), kvMagic...), blob...), nil
+	out := make([]byte, 0, len(kvMagic)+binary.MaxVarintLen64+len(key)+len(value))
+	out = append(out, kvMagic...)
+	out = binary.AppendUvarint(out, uint64(len(key)))
+	out = append(out, key...)
+	out = append(out, value...)
+	return out, nil
 }
 
-// decodeKVCommand rejects untagged blobs and decodes tagged ones.
+// decodeKVCommand rejects untagged blobs and decodes tagged ones — the
+// binary framing, or the legacy JSON object for pre-binary entries.
 func decodeKVCommand(raw []byte) (kvCommand, error) {
-	if !bytes.HasPrefix(raw, kvMagic) {
-		return kvCommand{}, fmt.Errorf("missing KV wire tag")
+	if bytes.HasPrefix(raw, kvMagic) {
+		rest := raw[len(kvMagic):]
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return kvCommand{}, fmt.Errorf("truncated KV key length")
+		}
+		rest = rest[n:]
+		if klen > uint64(len(rest)) {
+			return kvCommand{}, fmt.Errorf("KV key overruns payload")
+		}
+		return kvCommand{Key: string(rest[:klen]), Value: string(rest[klen:])}, nil
 	}
-	var cmd kvCommand
-	if err := json.Unmarshal(raw[len(kvMagic):], &cmd); err != nil {
-		return kvCommand{}, err
+	if bytes.HasPrefix(raw, kvMagicJSON) {
+		var cmd kvCommand
+		if err := json.Unmarshal(raw[len(kvMagicJSON):], &cmd); err != nil {
+			return kvCommand{}, err
+		}
+		return cmd, nil
 	}
-	return cmd, nil
+	return kvCommand{}, fmt.Errorf("missing KV wire tag")
+}
+
+// encodeKVResult is the machine's response framing: one found byte plus the
+// value bytes. A legacy JSON response (always starting '{') stays decodable.
+func encodeKVResult(found bool, value string) []byte {
+	out := make([]byte, 1, 1+len(value))
+	if found {
+		out[0] = 1
+	}
+	return append(out, value...)
 }
 
 func decodeKVResult(resp []byte) (string, bool, error) {
-	var res kvResult
-	if err := json.Unmarshal(resp, &res); err != nil {
-		return "", false, fmt.Errorf("kv: decode response: %w", err)
+	if len(resp) > 0 && resp[0] == '{' {
+		var res kvResult
+		if err := json.Unmarshal(resp, &res); err != nil {
+			return "", false, fmt.Errorf("kv: decode response: %w", err)
+		}
+		return res.Value, res.Found, nil
 	}
-	return res.Value, res.Found, nil
+	if len(resp) == 0 || resp[0] > 1 {
+		return "", false, fmt.Errorf("kv: decode response: not a KV result")
+	}
+	return string(resp[1:]), resp[0] == 1, nil
 }
+
+// DecodeKVResult decodes a kvMachine response obtained outside the ShardedKV
+// client — a raw Log.Read/StaleRead against a shard's log, the path audit
+// tooling uses to probe individual replicas — into (value, found).
+func DecodeKVResult(resp []byte) (string, bool, error) { return decodeKVResult(resp) }
 
 // kvMachine is the string-map StateMachine behind ShardedKV. The owning Log
 // serializes all calls, so no internal locking is needed. Foreign entries are
@@ -85,13 +127,13 @@ func (m *kvMachine) Apply(e LogEntry) ([]byte, error) {
 	}
 	prev, found := m.state[cmd.Key]
 	m.state[cmd.Key] = cmd.Value
-	return json.Marshal(kvResult{Found: found, Value: prev})
+	return encodeKVResult(found, prev), nil
 }
 
 // Query answers a key lookup; the query payload is the raw key.
 func (m *kvMachine) Query(query []byte) ([]byte, error) {
 	v, found := m.state[string(query)]
-	return json.Marshal(kvResult{Found: found, Value: v})
+	return encodeKVResult(found, v), nil
 }
 
 // Snapshot serializes the full store.
@@ -175,7 +217,7 @@ func NewShardedKV(opts ShardedKVOptions) (*ShardedKV, error) {
 		// Just the cheap tag check on the hot commit path (the hook runs on
 		// the committer): a tagged-but-malformed command is the proposer's
 		// bug, reported to them through Apply's ErrForeignCommand response.
-		if !bytes.HasPrefix(e.Cmd, kvMagic) {
+		if !bytes.HasPrefix(e.Cmd, kvMagic) && !bytes.HasPrefix(e.Cmd, kvMagicJSON) {
 			kv.foreign.Add(1)
 		}
 		if userHook != nil {

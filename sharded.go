@@ -3,6 +3,7 @@ package rdmaagreement
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -123,8 +124,16 @@ type ShardedStats struct {
 // log order — that the group still owns the key: the only point where the
 // route-then-commit race of a live rebalance can be closed. Raw log-level
 // traffic (no envelope) bypasses the gate exactly as it bypasses routing.
-// The trailing byte versions the wire format.
-var shardMagic = []byte("rshd\x00\x01")
+//
+// Two wire forms share the gate. Key-bound application payloads — the hot
+// path, one per Propose/Read — ride the binary framing under shardBinMagic
+// (magic | keylen uvarint | key | payload), decoded without allocation.
+// Migration commands, rare and structured, stay JSON under shardMagic, which
+// is also still decoded for envelopes committed by pre-binary code.
+var (
+	shardMagic    = []byte("rshd\x00\x01")
+	shardBinMagic = []byte("rshb\x00\x01")
+)
 
 // shardEnvelope is the wire form of one sharded command or query: either an
 // application payload bound to its routing key, or a migration command.
@@ -170,6 +179,14 @@ type migrateResult struct {
 }
 
 func encodeEnvelope(env shardEnvelope) ([]byte, error) {
+	if env.Migrate == nil {
+		out := make([]byte, 0, len(shardBinMagic)+binary.MaxVarintLen64+len(env.Key)+len(env.Cmd))
+		out = append(out, shardBinMagic...)
+		out = binary.AppendUvarint(out, uint64(len(env.Key)))
+		out = append(out, env.Key...)
+		out = append(out, env.Cmd...)
+		return out, nil
+	}
 	blob, err := json.Marshal(env)
 	if err != nil {
 		return nil, fmt.Errorf("sharded: encode envelope: %w", err)
@@ -177,15 +194,33 @@ func encodeEnvelope(env shardEnvelope) ([]byte, error) {
 	return append(append([]byte(nil), shardMagic...), blob...), nil
 }
 
-func decodeEnvelope(raw []byte) (shardEnvelope, bool) {
-	if !bytes.HasPrefix(raw, shardMagic) {
-		return shardEnvelope{}, false
+// decodeEnvelopeParts splits an enveloped payload into its routing key, the
+// inner payload, and (JSON envelopes only) a migration command. The returned
+// key and cmd alias raw for the binary framing — callers on the apply path
+// convert the key to a string only when they actually need one. ok=false
+// means raw carries neither tag: a raw log-level payload that bypasses the
+// gate.
+func decodeEnvelopeParts(raw []byte) (key, cmd []byte, mig *migrateCmd, ok bool) {
+	if bytes.HasPrefix(raw, shardBinMagic) {
+		rest := raw[len(shardBinMagic):]
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, nil, false
+		}
+		rest = rest[n:]
+		if klen > uint64(len(rest)) {
+			return nil, nil, nil, false
+		}
+		return rest[:klen:klen], rest[klen:], nil, true
 	}
-	var env shardEnvelope
-	if err := json.Unmarshal(raw[len(shardMagic):], &env); err != nil {
-		return shardEnvelope{}, false
+	if bytes.HasPrefix(raw, shardMagic) {
+		var env shardEnvelope
+		if err := json.Unmarshal(raw[len(shardMagic):], &env); err != nil {
+			return nil, nil, nil, false
+		}
+		return []byte(env.Key), env.Cmd, env.Migrate, true
 	}
-	return env, true
+	return nil, nil, nil, false
 }
 
 // groupSM wraps the application's StateMachine in one shard group's
@@ -219,27 +254,26 @@ func newGroupSM(self string, inner StateMachine) *groupSM {
 	return &groupSM{self: self, inner: inner, inEpochs: make(map[string]uint64)}
 }
 
-// owns reports whether the group's latest committed config routes key here.
-func (g *groupSM) owns(key string) bool {
-	return g.ring == nil || g.ring.Shard(key) == g.self
-}
-
 func (g *groupSM) Apply(e LogEntry) ([]byte, error) {
-	env, ok := decodeEnvelope(e.Cmd)
+	key, cmd, mig, ok := decodeEnvelopeParts(e.Cmd)
 	if !ok {
 		// Raw log-level command: no key to gate on; it bypassed routing and
 		// bypasses the gate, exactly like before rebalancing existed.
 		return g.inner.Apply(e)
 	}
-	if env.Migrate != nil {
-		return g.applyMigrate(env.Migrate)
+	if mig != nil {
+		return g.applyMigrate(mig)
 	}
-	if !g.owns(env.Key) {
-		// owns reported false, so g.ring is non-nil and names the new owner.
-		return nil, &KeyMovedError{Key: env.Key, From: g.self, Owner: g.ring.Shard(env.Key), Index: e.Index}
+	// The ownership check materializes the key string only when a ring is
+	// committed: until the first rebalance (the common case on the hot path)
+	// every routed key is ours and the key bytes are never copied.
+	if g.ring != nil {
+		if k := string(key); g.ring.Shard(k) != g.self {
+			return nil, &KeyMovedError{Key: k, From: g.self, Owner: g.ring.Shard(k), Index: e.Index}
+		}
 	}
 	inner := e
-	inner.Cmd = env.Cmd
+	inner.Cmd = cmd
 	return g.inner.Apply(inner)
 }
 
@@ -302,14 +336,16 @@ func (g *groupSM) applyMigrate(m *migrateCmd) ([]byte, error) {
 }
 
 func (g *groupSM) Query(query []byte) ([]byte, error) {
-	env, ok := decodeEnvelope(query)
+	key, cmd, _, ok := decodeEnvelopeParts(query)
 	if !ok {
 		return g.queryInner(query) // raw log-level query: no key, no gate
 	}
-	if !g.owns(env.Key) {
-		return nil, &KeyMovedError{Key: env.Key, From: g.self, Owner: g.ring.Shard(env.Key)}
+	if g.ring != nil {
+		if k := string(key); g.ring.Shard(k) != g.self {
+			return nil, &KeyMovedError{Key: k, From: g.self, Owner: g.ring.Shard(k)}
+		}
 	}
-	return g.queryInner(env.Cmd)
+	return g.queryInner(cmd)
 }
 
 func (g *groupSM) queryInner(query []byte) ([]byte, error) {
@@ -445,11 +481,11 @@ func NewSharded(newSM func() StateMachine, opts ShardedOptions) (*Sharded, error
 		// pass through untouched, rejected or not: ShardedKV's foreign-entry
 		// accounting depends on seeing them.
 		opts.Log.OnCommit = func(e LogEntry) {
-			if env, ok := decodeEnvelope(e.Cmd); ok {
-				if env.Migrate != nil || e.Rejected {
+			if _, cmd, mig, ok := decodeEnvelopeParts(e.Cmd); ok {
+				if mig != nil || e.Rejected {
 					return
 				}
-				e.Cmd = env.Cmd
+				e.Cmd = cmd
 			}
 			userHook(e)
 		}
