@@ -22,6 +22,8 @@
 // Connections are pooled (one shared http.Transport with generous per-host
 // idle limits) so a closed-loop workload reuses sockets instead of
 // re-dialing per request.
+//
+//smrlint:wire consumer
 package client
 
 import (
@@ -126,8 +128,8 @@ type Client struct {
 	own  *http.Transport // set when the client built its own pooled transport
 
 	mu        sync.RWMutex
-	ring      *rdmaagreement.Ring
-	endpoints map[string]string // shard name → base URL
+	ring      *rdmaagreement.Ring // guarded by mu
+	endpoints map[string]string   // guarded by mu; shard name → base URL
 
 	rr atomic.Uint64 // round-robin cursor over Options.Endpoints
 

@@ -1,0 +1,13 @@
+package applydet_test
+
+import (
+	"testing"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/analysistest"
+	"rdmaagreement/internal/lint/applydet"
+)
+
+func TestApplyDet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), []*analysis.Analyzer{applydet.Analyzer}, "applydet/dep", "applydet")
+}

@@ -1,0 +1,161 @@
+// Package checker runs a set of analyzers over typechecked packages: it owns
+// the in-memory fact store, the //smrlint:ignore suppression pass, and the
+// finding format shared by the standalone driver, the vet unit driver, and
+// the analysistest harness.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/directive"
+)
+
+// A Finding is one reportable diagnostic after suppression filtering.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Facts is the in-memory object-fact store shared by every pass of one
+// checker run. All packages are analyzed in one process in dependency order,
+// so a fact exported while analyzing a dependency is visible — by object
+// identity — when its importers are analyzed.
+type Facts struct {
+	m map[types.Object]map[reflect.Type]analysis.Fact
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[types.Object]map[reflect.Type]analysis.Fact)}
+}
+
+// ExportObjectFact implements analysis.FactStore.
+func (s *Facts) ExportObjectFact(obj types.Object, fact analysis.Fact) {
+	if obj == nil {
+		return
+	}
+	byType := s.m[obj]
+	if byType == nil {
+		byType = make(map[reflect.Type]analysis.Fact)
+		s.m[obj] = byType
+	}
+	byType[reflect.TypeOf(fact)] = fact
+}
+
+// ImportObjectFact implements analysis.FactStore.
+func (s *Facts) ImportObjectFact(obj types.Object, fact analysis.Fact) bool {
+	stored, ok := s.m[obj][reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// All returns every stored fact, for serialization by the unit driver.
+func (s *Facts) All() map[types.Object]map[reflect.Type]analysis.Fact { return s.m }
+
+// A Target is one package to analyze.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyze runs every analyzer over one package, appending suppressed-and-
+// filtered findings. Directive errors (an ignore with no reason, an ignore
+// naming no known analyzer) are findings themselves: a suppression that
+// cannot be audited is a violation of the fix-forward policy.
+func Analyze(t Target, analyzers []*analysis.Analyzer, facts *Facts) ([]Finding, error) {
+	var raw []analysis.Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			Facts:     facts,
+			Report: func(d analysis.Diagnostic) {
+				if d.Category == "" {
+					d.Category = a.Name
+				}
+				raw = append(raw, d)
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", t.Pkg.Path(), a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	ignores := directive.Ignores(t.Fset, t.Files)
+	var out []Finding
+	for _, ig := range ignores {
+		if ig.Reason == "" {
+			out = append(out, Finding{
+				Pos:      t.Fset.Position(ig.Pos),
+				Analyzer: "smrlint",
+				Message:  fmt.Sprintf("//smrlint:ignore %s needs a non-empty reason", ig.Analyzer),
+			})
+		}
+		if !known[ig.Analyzer] {
+			out = append(out, Finding{
+				Pos:      t.Fset.Position(ig.Pos),
+				Analyzer: "smrlint",
+				Message:  fmt.Sprintf("//smrlint:ignore names unknown analyzer %q", ig.Analyzer),
+			})
+		}
+	}
+
+	for _, d := range raw {
+		pos := t.Fset.Position(d.Pos)
+		if suppressed(ignores, d.Category, pos) {
+			continue
+		}
+		out = append(out, Finding{Pos: pos, Analyzer: d.Category, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// suppressed reports whether an ignore directive with a non-empty reason
+// covers the diagnostic: same analyzer, same file, on the finding's line or
+// the line directly above it.
+func suppressed(ignores []directive.Ignore, analyzer string, pos token.Position) bool {
+	for _, ig := range ignores {
+		if ig.Analyzer != analyzer || ig.Reason == "" || ig.File != pos.Filename {
+			continue
+		}
+		if ig.Line == pos.Line || ig.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

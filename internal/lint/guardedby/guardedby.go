@@ -1,0 +1,430 @@
+// Package guardedby implements the smrlint analyzer that checks
+// "// guarded by mu" field annotations: every access to an annotated struct
+// field must be lexically preceded, in the same function, by a Lock (or, for
+// reads, RLock) call on the named sibling mutex through the same base
+// expression.
+//
+// The check is deliberately lightweight — positional, not all-paths: a Lock
+// anywhere earlier in the function satisfies it, and Unlock is not tracked.
+// It exists to catch the common real bug (a new method or branch touching
+// guarded state with no locking at all), not to be a full lockset analysis.
+//
+// Recognized escape hatches:
+//
+//   - a function whose doc carries //smrlint:holds <mu> is treated as running
+//     with the receiver's <mu> already held (lock-held helpers);
+//   - accesses through a variable the function itself built with a composite
+//     literal (constructors: no concurrency before the value escapes);
+//   - function literals inherit the locks of enclosing scopes, except across
+//     a `go` boundary (a spawned goroutine does not hold the spawner's locks).
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/directive"
+)
+
+// Analyzer is the guardedby analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields annotated `// guarded by mu` are accessed with the named mutex held",
+	Run:  run,
+}
+
+// guard describes one annotated field.
+type guard struct {
+	mu     string // sibling mutex field name
+	rwlock bool   // mutex is a sync.RWMutex (RLock is acceptable for reads)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards finds every `// guarded by mu` field annotation in the
+// package and validates that the named guard is a sibling sync.Mutex or
+// sync.RWMutex field.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	guards := make(map[types.Object]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, found := directive.GuardedBy(field.Comment)
+				if !found {
+					mu, found = directive.GuardedBy(field.Doc)
+				}
+				if !found {
+					continue
+				}
+				rw, ok := siblingMutex(pass, st, mu)
+				if !ok {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sibling sync.Mutex or sync.RWMutex field", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guard{mu: mu, rwlock: rw}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// siblingMutex reports whether the struct has a field named mu of mutex type
+// and whether that mutex is an RWMutex.
+func siblingMutex(pass *analysis.Pass, st *ast.StructType, mu string) (rwlock, ok bool) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				return false, false
+			}
+			switch mutexKind(t) {
+			case "sync.Mutex":
+				return false, true
+			case "sync.RWMutex":
+				return true, true
+			}
+			return false, false
+		}
+	}
+	return false, false
+}
+
+func mutexKind(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	return "sync." + obj.Name()
+}
+
+// lockEvent is one Lock/RLock call: where, on which rendered chain ("l.mu"),
+// and whether it was a read lock.
+type lockEvent struct {
+	pos   token.Pos
+	chain string
+	read  bool
+	scope int // innermost FuncLit scope id at the call (0 = function body)
+}
+
+// checkFunc walks one function, collecting lock events and checking guarded
+// accesses against them.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]guard) {
+	held := holdsChains(pass, fd)
+	constructed := constructedVars(pass, fd)
+
+	// Scope numbering: each FuncLit gets an id; parent[i] is the enclosing
+	// scope, goBoundary[i] marks FuncLits launched by a `go` statement.
+	type scopeInfo struct {
+		parent     int
+		goBoundary bool
+	}
+	scopes := []scopeInfo{{parent: -1}}
+	var locks []lockEvent
+
+	var walk func(n ast.Node, scope int, inGo bool)
+	walk = func(n ast.Node, scope int, inGo bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				// The spawned goroutine does not hold the spawner's locks.
+				if fl, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					scopes = append(scopes, scopeInfo{parent: scope, goBoundary: true})
+					walk(fl.Body, len(scopes)-1, false)
+					for _, arg := range m.Call.Args {
+						walk(arg, scope, false)
+					}
+					return false
+				}
+			case *ast.FuncLit:
+				scopes = append(scopes, scopeInfo{parent: scope, goBoundary: false})
+				walk(m.Body, len(scopes)-1, false)
+				return false
+			case *ast.CallExpr:
+				if chain, read, ok := lockCall(pass, m); ok {
+					locks = append(locks, lockEvent{pos: m.Pos(), chain: chain, read: read, scope: scope})
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0, false)
+
+	// covered reports whether a lock on chain precedes pos in scope or an
+	// ancestor scope, without crossing a go boundary.
+	covered := func(chain string, pos token.Pos, scope int, needWrite bool) bool {
+		for s := scope; s >= 0; {
+			for _, l := range locks {
+				if l.chain == chain && l.pos < pos && l.scope == s && (!needWrite || !l.read) {
+					return true
+				}
+			}
+			info := scopes[s]
+			if info.goBoundary {
+				break
+			}
+			s = info.parent
+		}
+		return false
+	}
+
+	checkAccess := func(sel *ast.SelectorExpr, scope int, write bool) {
+		obj := fieldObject(pass, sel)
+		g, guarded := guards[obj]
+		if !guarded {
+			return
+		}
+		base, ok := render(sel.X)
+		if !ok {
+			return
+		}
+		if baseObj := rootObject(pass, sel.X); baseObj != nil && constructed[baseObj] {
+			return
+		}
+		chain := base + "." + g.mu
+		if held[chain] {
+			return
+		}
+		if covered(chain, sel.Pos(), scope, write && g.rwlock) {
+			return
+		}
+		verb := "read"
+		if write {
+			verb = "written"
+		}
+		if write && g.rwlock && covered(chain, sel.Pos(), scope, false) {
+			pass.Reportf(sel.Pos(), "%s.%s %s under %s.RLock; writes need %s.Lock (field guarded by %s)",
+				base, sel.Sel.Name, verb, chain, chain, g.mu)
+			return
+		}
+		pass.Reportf(sel.Pos(), "%s.%s %s without %s held (field guarded by %s)",
+			base, sel.Sel.Name, verb, chain, g.mu)
+	}
+
+	// Second pass: visit accesses with their scopes and write/read mode. The
+	// traversal mirrors walk, so scope ids line up with the scopes slice.
+	next := 0
+	var visit func(n ast.Node, scope int)
+	visit = func(n ast.Node, scope int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				if fl, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					next++
+					visit(fl.Body, next)
+					for _, arg := range m.Call.Args {
+						visit(arg, scope)
+					}
+					return false
+				}
+			case *ast.FuncLit:
+				next++
+				visit(m.Body, next)
+				return false
+			case *ast.AssignStmt:
+				for _, lhs := range m.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						checkAccess(sel, scope, true)
+						visit(sel.X, scope)
+					} else {
+						visit(lhs, scope)
+					}
+				}
+				for _, rhs := range m.Rhs {
+					visit(rhs, scope)
+				}
+				return false
+			case *ast.IncDecStmt:
+				if sel, ok := m.X.(*ast.SelectorExpr); ok {
+					checkAccess(sel, scope, true)
+					visit(sel.X, scope)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					if sel, ok := m.X.(*ast.SelectorExpr); ok {
+						// Taking the address hands out mutable access.
+						checkAccess(sel, scope, true)
+						visit(sel.X, scope)
+						return false
+					}
+				}
+			case *ast.SelectorExpr:
+				checkAccess(m, scope, false)
+			}
+			return true
+		})
+	}
+	visit(fd.Body, 0)
+}
+
+// holdsChains parses //smrlint:holds annotations on the function: each named
+// mutex is treated as held on entry, through the receiver (methods) or any
+// single-identifier base (functions).
+func holdsChains(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	held := make(map[string]bool)
+	args, ok := directive.Marker(fd.Doc, "holds")
+	if !ok {
+		return held
+	}
+	var recv string
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	for _, mu := range splitFields(args) {
+		if recv != "" {
+			held[recv+"."+mu] = true
+		}
+		held[mu] = true
+	}
+	return held
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' || s[i] == '\t' || s[i] == ',' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// constructedVars returns the local variables the function initializes from a
+// composite literal (possibly via &): no other goroutine can hold the lock of
+// a value that has not escaped its constructor yet.
+func constructedVars(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockCall matches <chain>.Lock() / <chain>.RLock() calls on sync mutexes and
+// returns the rendered chain.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (chain string, read, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" {
+		return "", false, false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || mutexKind(recv) == "" {
+		return "", false, false
+	}
+	chain, rok := render(sel.X)
+	if !rok {
+		return "", false, false
+	}
+	return chain, name == "RLock", true
+}
+
+// fieldObject resolves a selector to the struct field object it reads, if
+// any.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// render flattens a pure identifier/selector chain ("l", "s.inner") — the
+// only base shapes the positional matching can correlate. Anything else
+// (calls, indexing) renders not-ok and the access is skipped.
+func render(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return render(e.X)
+	}
+	return "", false
+}
+
+// rootObject resolves the leftmost identifier of a base chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

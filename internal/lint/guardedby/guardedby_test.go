@@ -1,0 +1,13 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/analysistest"
+	"rdmaagreement/internal/lint/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), []*analysis.Analyzer{guardedby.Analyzer}, "guardedby")
+}

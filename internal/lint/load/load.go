@@ -1,0 +1,225 @@
+// Package load enumerates and typechecks the packages smrlint analyzes.
+//
+// The standalone driver cannot depend on golang.org/x/tools/go/packages (the
+// repository builds with no module downloads), so it speaks to the go command
+// directly: `go list -export -deps -json` yields every package in dependency
+// order together with build-cache export data for the compiled dependencies.
+// Packages of the main module are parsed and typechecked from source (the
+// analyzers need syntax); everything else is imported from export data, which
+// is both faster and immune to source drift in GOROOT.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one typechecked main-module package, ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, non-test files only
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Result is the loaded set: main-module packages in dependency order
+// (dependencies first), sharing one FileSet.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path      string
+		Main      bool
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists patterns (plus all dependencies) in dir and typechecks every
+// main-module package from source. The go command compiles dependencies as a
+// side effect of -export, so a cold cache costs one build.
+func Load(dir string, patterns ...string) (*Result, error) {
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(listed))
+	goVersion := ""
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+
+	imp := newImporter(fset, exports)
+	res := &Result{Fset: fset}
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, p, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		imp.module[p.ImportPath] = pkg.Pkg
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+// Check typechecks one package's files against an importer — the shared core
+// of the standalone loader and the vet -vettool unit driver.
+func Check(fset *token.FileSet, imp types.Importer, path, goVersion string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect everything; first error returned below
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, p listPackage, goVersion string) (*Package, error) {
+	out := &Package{ImportPath: p.ImportPath, Dir: p.Dir, Fset: fset}
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		out.GoFiles = append(out.GoFiles, path)
+		out.Files = append(out.Files, f)
+	}
+	pkg, info, err := Check(fset, imp, p.ImportPath, goVersion, out.Files)
+	if err != nil {
+		return nil, err
+	}
+	out.Pkg, out.Info = pkg, info
+	return out, nil
+}
+
+// ExportImporter builds a gc export-data importer for the named packages
+// (and their dependencies) via one `go list -export -deps` run in the current
+// directory. The analysistest harness uses it to resolve fixture imports of
+// the standard library.
+func ExportImporter(fset *token.FileSet, paths []string) (types.Importer, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return newImporter(fset, exports), nil
+}
+
+// moduleImporter resolves main-module packages to their source-typechecked
+// form (so object identity is shared with the packages under analysis) and
+// everything else through gc export data from the build cache.
+type moduleImporter struct {
+	module map[string]*types.Package
+	gc     types.Importer
+}
+
+func newImporter(fset *token.FileSet, exports map[string]string) *moduleImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &moduleImporter{
+		module: make(map[string]*types.Package),
+		gc:     importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	return m.gc.Import(path)
+}

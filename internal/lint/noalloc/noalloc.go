@@ -1,0 +1,456 @@
+// Package noalloc implements the smrlint analyzer that checks functions
+// annotated //smrlint:noalloc — the codec encode/decode path, the metrics
+// record path, and friends whose per-op allocation budget the bench gates pin
+// — for allocating constructs:
+//
+//   - append without preallocated-cap evidence (the destination must be a
+//     slice parameter, built by a 3-arg make, or resliced to [:0] earlier in
+//     the function — the pooled-envelope and right-sized-encode patterns);
+//   - string ↔ []byte conversions, except in map-index position (m[string(b)]
+//     is compiler-optimized and does not allocate);
+//   - non-constant string concatenation;
+//   - make(map…)/make(chan…), new, map/slice composite literals, and &T{…};
+//   - function literals that capture variables (closures allocate);
+//   - fmt calls and interface boxing of non-pointer values, both allowed
+//     inside return statements only: error exit paths may allocate, the
+//     steady-state path may not.
+//
+// The check is per annotated function: callees are not walked. Transitive
+// allocation budgets are pinned dynamically by the alloc regression tests;
+// this analyzer catches the accidental allocation introduced by an edit to an
+// annotated function itself.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/directive"
+)
+
+// Analyzer is the noalloc analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check //smrlint:noalloc functions for allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := directive.Marker(fd.Doc, "noalloc"); ok {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	parents := parentMap(fd.Body)
+
+	// Slice-typed parameters are append targets by contract: the caller owns
+	// the preallocation policy (append-style APIs à la binary.AppendUvarint).
+	params := make(map[string]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, ok := pass.TypesInfo.TypeOf(field.Type).Underlying().(*types.Slice); !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+
+	evidence := collectEvidence(pass, fd, params)
+
+	hasEvidence := func(chain string, pos token.Pos) bool {
+		if params[chain] {
+			return true
+		}
+		for _, e := range evidence {
+			if e.chain == chain && e.pos < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, parents, hasEvidence)
+		case *ast.FuncLit:
+			if name, ok := captures(pass, n); ok {
+				pass.Reportf(n.Pos(), "function literal captures %s and allocates a closure", name)
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := pass.TypesInfo.Types[n]
+				if tv.Value == nil && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node, hasEvidence func(string, token.Pos) bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	switch {
+	case tv.IsType():
+		checkConversion(pass, call, parents)
+		return
+	case tv.IsBuiltin():
+		name := builtinName(call.Fun)
+		switch name {
+		case "append":
+			dst := call.Args[0]
+			if inlineCapEvidence(pass, dst) {
+				return
+			}
+			chain, rok := render(dst)
+			if !rok || !hasEvidence(chain, call.Pos()) {
+				pass.Reportf(call.Pos(), "append to %s without preallocated-cap evidence (make with cap, [:0] reslice, or slice parameter) may allocate", describe(dst))
+			}
+		case "make":
+			switch pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(call.Pos(), "make(map) allocates")
+			case *types.Chan:
+				pass.Reportf(call.Pos(), "make(chan) allocates")
+			}
+		case "new":
+			pass.Reportf(call.Pos(), "new allocates")
+		}
+		return
+	}
+
+	// fmt calls: error exit paths (returns) may format; the steady-state path
+	// may not.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				if !insideReturn(call, parents) {
+					pass.Reportf(call.Pos(), "fmt.%s allocates; only return statements (error paths) may format", sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+
+	// Interface boxing of non-pointer arguments, likewise allowed on return
+	// paths only.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || insideReturn(call, parents) {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramType(sig, i, call.Ellipsis.IsValid())
+		if param == nil {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		av := pass.TypesInfo.Types[arg]
+		if av.IsNil() || av.Type == nil {
+			continue
+		}
+		switch av.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s boxes a non-pointer %s into an interface and allocates", describe(arg), av.Type.String())
+	}
+}
+
+// checkConversion flags string↔[]byte conversions outside map-index position.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := pass.TypesInfo.TypeOf(call)
+	from := pass.TypesInfo.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	s2b := isString(from) && isByteSlice(to)
+	b2s := isByteSlice(from) && isString(to)
+	if !s2b && !b2s {
+		return
+	}
+	if b2s && isMapIndex(pass, call, parents) {
+		return // m[string(b)] is compiler-optimized: no allocation
+	}
+	pass.Reportf(call.Pos(), "%s conversion allocates a copy", convName(s2b))
+}
+
+func convName(s2b bool) string {
+	if s2b {
+		return "string→[]byte"
+	}
+	return "[]byte→string"
+}
+
+// evidenceEvent marks a chain having preallocated-cap evidence from its
+// position onward.
+type evidenceEvent struct {
+	chain string
+	pos   token.Pos
+}
+
+// collectEvidence walks assignments in source order: 3-arg makes, [:0]
+// reslices, and appends that chain off an already-evidenced destination all
+// give their assignee evidence.
+func collectEvidence(pass *analysis.Pass, fd *ast.FuncDecl, params map[string]bool) []evidenceEvent {
+	var evidence []evidenceEvent
+	has := func(chain string, pos token.Pos) bool {
+		if params[chain] {
+			return true
+		}
+		for _, e := range evidence {
+			if e.chain == chain && e.pos < pos {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			chain, rok := render(lhs)
+			if !rok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if capEvidence(pass, rhs, has, as.Pos()) {
+				evidence = append(evidence, evidenceEvent{chain: chain, pos: as.Pos()})
+			}
+		}
+		return true
+	})
+	return evidence
+}
+
+// capEvidence reports whether rhs yields a slice whose capacity was
+// explicitly provisioned: make([]T, n, cap), x[:0] (capacity reuse), or an
+// append chaining off an evidenced destination.
+func capEvidence(pass *analysis.Pass, rhs ast.Expr, has func(string, token.Pos) bool, pos token.Pos) bool {
+	switch rhs := rhs.(type) {
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[rhs.Fun]; ok && tv.IsBuiltin() {
+			switch builtinName(rhs.Fun) {
+			case "make":
+				return len(rhs.Args) == 3
+			case "append":
+				if inlineCapEvidence(pass, rhs.Args[0]) {
+					return true
+				}
+				chain, rok := render(rhs.Args[0])
+				return rok && has(chain, pos)
+			}
+		}
+	case *ast.SliceExpr:
+		return isZeroReslice(rhs)
+	}
+	return false
+}
+
+// inlineCapEvidence matches append destinations that carry evidence in the
+// expression itself: append(x[:0], …) and append(make([]T, 0, n), …).
+func inlineCapEvidence(pass *analysis.Pass, dst ast.Expr) bool {
+	switch dst := dst.(type) {
+	case *ast.SliceExpr:
+		return isZeroReslice(dst)
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[dst.Fun]; ok && tv.IsBuiltin() && builtinName(dst.Fun) == "make" {
+			return len(dst.Args) == 3
+		}
+	}
+	return false
+}
+
+// isZeroReslice matches x[:0] (and x[0:0]): length zero, capacity retained.
+func isZeroReslice(se *ast.SliceExpr) bool {
+	if se.Slice3 || se.High == nil {
+		return false
+	}
+	lit, ok := se.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// captures reports whether the function literal references a variable
+// declared outside it.
+func captures(pass *analysis.Pass, fl *ast.FuncLit) (string, bool) {
+	var name string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name, name != ""
+}
+
+func insideReturn(n ast.Node, parents map[ast.Node]ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isMapIndex reports whether call sits in index position of a map index
+// expression.
+func isMapIndex(pass *analysis.Pass, call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	p := parents[call]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			_ = pe
+			p = parents[p]
+			continue
+		}
+		break
+	}
+	idx, ok := p.(*ast.IndexExpr)
+	if !ok || idx.Index != call {
+		// The conversion may be wrapped in parens; re-check one level up.
+		return false
+	}
+	_, isMap := pass.TypesInfo.TypeOf(idx.X).Underlying().(*types.Map)
+	return isMap
+}
+
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			return nil // slice passed through, no boxing
+		}
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func builtinName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.ParenExpr:
+		return builtinName(f.X)
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// render flattens a pure identifier/selector chain.
+func render(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := render(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return render(e.X)
+	}
+	return "", false
+}
+
+// describe renders an expression for a diagnostic, falling back to a generic
+// phrase for complex shapes.
+func describe(e ast.Expr) string {
+	if s, ok := render(e); ok {
+		return s
+	}
+	return "destination"
+}

@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/analysistest"
+	"rdmaagreement/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), []*analysis.Analyzer{noalloc.Analyzer}, "noalloc")
+}

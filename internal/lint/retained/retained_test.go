@@ -1,0 +1,13 @@
+package retained_test
+
+import (
+	"testing"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/analysistest"
+	"rdmaagreement/internal/lint/retained"
+)
+
+func TestRetained(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), []*analysis.Analyzer{retained.Analyzer}, "retained/entry", "retained")
+}

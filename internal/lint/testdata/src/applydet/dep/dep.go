@@ -1,0 +1,10 @@
+// Fixture dependency for the applydet analyzer: exports a nondeterministic
+// helper whose NondetFact must flow to importing packages.
+package dep
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,142 @@
+// Fixture for the noalloc analyzer: true positives (unevidenced appends,
+// string↔[]byte copies, fmt outside returns, capturing closures, boxing, map
+// makes, literals, concatenation) and near misses mirroring the real codec
+// idioms (3-arg make, [:0] reslice, slice parameters, map-index conversion,
+// error-path fmt and boxing, struct composite literals).
+package noalloc
+
+import "fmt"
+
+type frame struct {
+	ids  []uint64
+	data []byte
+}
+
+//smrlint:noalloc
+func appendParam(dst []byte, b byte) []byte {
+	return append(dst, b) // near miss: dst is a slice parameter
+}
+
+//smrlint:noalloc
+func appendMake(n int) []byte {
+	out := make([]byte, 0, n)
+	out = append(out, 1) // near miss: out was made with explicit cap
+	return out
+}
+
+//smrlint:noalloc
+func appendInline(n int) []byte {
+	return append(make([]byte, 0, n), 1) // near miss: inline 3-arg make
+}
+
+//smrlint:noalloc
+func appendReslice(f *frame, id uint64) {
+	f.ids = f.ids[:0]
+	f.ids = append(f.ids, id) // near miss: [:0] reslice reuses capacity
+}
+
+//smrlint:noalloc
+func appendChained(dst []byte) []byte {
+	out := append(dst, 1)
+	out = append(out, 2) // near miss: chains off the evidenced append
+	return out
+}
+
+//smrlint:noalloc
+func appendCold(f *frame, id uint64) {
+	f.ids = append(f.ids, id) // want `append to f\.ids without preallocated-cap evidence`
+}
+
+//smrlint:noalloc
+func appendBare(id uint64) []uint64 {
+	var out []uint64
+	out = append(out, id) // want `append to out without preallocated-cap evidence`
+	return out
+}
+
+//smrlint:noalloc
+func mapKey(m map[string]int, b []byte) int {
+	return m[string(b)] // near miss: map-index conversion is free
+}
+
+//smrlint:noalloc
+func byteCopy(b []byte) string {
+	s := string(b) // want `\[\]byte→string conversion allocates a copy`
+	return s
+}
+
+//smrlint:noalloc
+func stringCopy(s string) []byte {
+	return []byte(s) // want `string→\[\]byte conversion allocates a copy`
+}
+
+//smrlint:noalloc
+func errPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad frame size %d", n) // near miss: fmt and boxing on the return path
+	}
+	return nil
+}
+
+//smrlint:noalloc
+func hotFmt(n int) {
+	fmt.Println("frame", n) // want `fmt\.Println allocates`
+}
+
+//smrlint:noalloc
+func box(n uint64) {
+	sink(n) // want `passing n boxes a non-pointer uint64 into an interface`
+}
+
+//smrlint:noalloc
+func boxPointer(f *frame) {
+	sink(f) // near miss: pointers do not box-allocate
+}
+
+//smrlint:noalloc
+func structReset(f *frame) {
+	*f = frame{ids: f.ids[:0], data: f.data[:0]} // near miss: struct composite literal, no heap
+}
+
+//smrlint:noalloc
+func makeMap() map[string]int {
+	return make(map[string]int) // want `make\(map\) allocates`
+}
+
+//smrlint:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates`
+}
+
+//smrlint:noalloc
+func addrLit() *frame {
+	return &frame{} // want `&composite literal allocates`
+}
+
+//smrlint:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//smrlint:noalloc
+func constConcat() string {
+	return "a" + "b" // near miss: constant-folded
+}
+
+//smrlint:noalloc
+func closure(n int) func() int {
+	return func() int { return n } // want `function literal captures n and allocates a closure`
+}
+
+//smrlint:noalloc
+func freeLit() func() int {
+	return func() int { return 42 } // near miss: captures nothing
+}
+
+//smrlint:noalloc
+func ignored(f *frame, id uint64) {
+	//smrlint:ignore noalloc cold shutdown path, measured free
+	f.ids = append(f.ids, id) // suppressed by the justified ignore above
+}
+
+func sink(any) {}

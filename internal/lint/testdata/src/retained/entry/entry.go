@@ -1,0 +1,16 @@
+// Fixture dependency for the retained analyzer: the package that owns the
+// Entry type. Its own functions may retain command buffers freely.
+package entry
+
+// Entry mirrors the log's entry shape: Cmd is a borrowed buffer.
+type Entry struct {
+	ID  uint64
+	Cmd []byte
+}
+
+var stash []byte
+
+// Keep retains an entry's command in the owning package: exempt.
+func Keep(e Entry) {
+	stash = e.Cmd // near miss: the declaring package owns its entries
+}

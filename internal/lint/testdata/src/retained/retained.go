@@ -1,0 +1,89 @@
+// Fixture for the retained analyzer: true positives (field stores through
+// pointers, map stores, channel sends, appends of slice headers, element
+// mutation, package-level stores, reslice aliases) and near misses (copies
+// via string/append.../copy, local value-struct stores, plain local aliases).
+package retained
+
+import "retained/entry"
+
+type machine struct {
+	last    []byte
+	pending chan []byte
+	byID    map[uint64][]byte
+	hist    [][]byte
+}
+
+var lastGlobal []byte
+
+func (m *machine) storeField(e entry.Entry) {
+	m.last = e.Cmd // want `e\.Cmd stores a borrowed command slice in a field`
+}
+
+func (m *machine) storeAlias(e entry.Entry) {
+	cmd := e.Cmd
+	m.last = cmd // want `cmd stores a borrowed command slice in a field`
+}
+
+func (m *machine) storeReslice(e entry.Entry) {
+	m.last = e.Cmd[1:] // want `e\.Cmd\[…\] stores a borrowed command slice in a field`
+}
+
+func (m *machine) storeMap(e entry.Entry) {
+	m.byID[e.ID] = e.Cmd // want `e\.Cmd stores a borrowed command slice in a map`
+}
+
+func (m *machine) send(e entry.Entry) {
+	m.pending <- e.Cmd // want `e\.Cmd sends a borrowed command slice on a channel`
+}
+
+func (m *machine) appendHeader(e entry.Entry) {
+	m.hist = append(m.hist, e.Cmd) // want `e\.Cmd stores a borrowed command slice in a slice`
+}
+
+func (m *machine) mutate(e entry.Entry) {
+	e.Cmd[0] = 0 // want `e\.Cmd mutates a borrowed command slice`
+}
+
+func (m *machine) mutateCopy(e entry.Entry, src []byte) {
+	copy(e.Cmd, src) // want `e\.Cmd mutates a borrowed command slice via copy`
+}
+
+func storeGlobal(e entry.Entry) {
+	lastGlobal = e.Cmd // want `e\.Cmd stores a borrowed command slice in a package-level variable`
+}
+
+func (m *machine) Restore(snap []byte, index uint64) error {
+	m.last = snap // want `snap stores a borrowed command slice in a field`
+	return nil
+}
+
+func (m *machine) copied(e entry.Entry) {
+	owned := append([]byte(nil), e.Cmd...) // near miss: append(dst, cmd...) copies bytes
+	m.last = owned
+}
+
+func (m *machine) stringCopy(e entry.Entry) string {
+	return string(e.Cmd) // near miss: string conversion copies
+}
+
+func localValueStore(e entry.Entry) uint64 {
+	var shadow entry.Entry
+	shadow.Cmd = e.Cmd // near miss: field of a local value struct dies with the frame
+	return shadow.ID
+}
+
+func localAlias(e entry.Entry) byte {
+	cmd := e.Cmd // near miss: a plain local alias is fine until it escapes
+	return cmd[0]
+}
+
+func (m *machine) reassigned(e entry.Entry) {
+	cmd := e.Cmd
+	cmd = append([]byte(nil), cmd...)
+	m.last = cmd // near miss: the alias was replaced by an owned copy
+}
+
+func (m *machine) ignored(e entry.Entry) {
+	//smrlint:ignore retained entries pinned by the snapshot barrier in tests
+	m.last = e.Cmd // suppressed by the justified ignore above
+}

@@ -1,0 +1,42 @@
+// Fixture consumer for the wireclosed analyzer: Unwrap misses two admission
+// codes, and stale string-literal comparisons against Code fields are
+// flagged.
+//
+//smrlint:wire consumer
+package consume
+
+import (
+	"errors"
+
+	"wireclosed/tax"
+)
+
+var errBusy = errors.New("busy")
+
+// Error mirrors the client error shape.
+type Error struct{ Code string }
+
+// Unwrap maps admission codes to sentinels — incompletely.
+func (e *Error) Unwrap() error {
+	switch e.Code { // want `admission code CodeLazy has no case in Unwrap` `admission code CodeLeaky has no case in Unwrap`
+	case tax.CodeBusy:
+		return errBusy
+	}
+	return nil
+}
+
+func stale(e *Error) bool {
+	return e.Code == "good_code" // want `use tax\.CodeGood instead of the literal "good_code"`
+}
+
+func freshName(name string) bool {
+	return name == "good_code" // near miss: not a Code field comparison
+}
+
+func staleSwitch(e *Error) bool {
+	switch e.Code {
+	case "lazy_code": // want `use tax\.CodeLazy instead of the literal "lazy_code"`
+		return true
+	}
+	return false
+}

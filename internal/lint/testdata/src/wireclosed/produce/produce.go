@@ -1,0 +1,12 @@
+// Fixture producer for the wireclosed analyzer: only CodeBusy is produced,
+// so the other admission codes are flagged at the package clause.
+//
+//smrlint:wire producer
+package produce // want `admission code CodeLazy is never produced` `admission code CodeLeaky is never produced`
+
+import "wireclosed/tax"
+
+// Refuse sheds load with the busy code.
+func Refuse() string {
+	return tax.CodeBusy
+}

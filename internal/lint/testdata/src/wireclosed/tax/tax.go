@@ -1,0 +1,72 @@
+// Fixture taxonomy for the wireclosed analyzer: classified codes whose
+// Sentinel/Retryable/FromError obligations are variously met (near misses)
+// and violated (true positives).
+//
+//smrlint:wire taxonomy
+package tax
+
+import "errors"
+
+var (
+	errGood = errors.New("good")
+	errLeak = errors.New("leak")
+	errAnon = errors.New("anon")
+)
+
+const (
+	//smrlint:wire store
+	CodeGood = "good_code" // near miss: has a Sentinel case and a FromError mapping
+
+	//smrlint:wire store
+	CodeOrphan = "orphan_code" // want `store code CodeOrphan has no Sentinel case` `store code CodeOrphan is not produced in FromError`
+
+	//smrlint:wire admission
+	CodeBusy = "busy_code" // near miss: retryable, no Sentinel
+
+	//smrlint:wire admission
+	CodeLazy = "lazy_code" // want `admission code CodeLazy is not in Retryable's true cases`
+
+	//smrlint:wire admission
+	CodeLeaky = "leaky_code" // want `admission code CodeLeaky must not have a Sentinel case`
+
+	//smrlint:wire anonymous
+	CodeAnon = "anon_code" // near miss: anonymous codes stay out of Sentinel
+
+	//smrlint:wire anonymous
+	CodeAnonBad = "anon_bad_code" // want `anonymous code CodeAnonBad must not have a Sentinel case`
+
+	//smrlint:wire gibberish
+	CodeWeird = "weird_code" // want `wire code CodeWeird has unknown class "gibberish"`
+
+	CodeUnmarked = "unmarked_code" // want `wire code CodeUnmarked needs a //smrlint:wire class marker`
+)
+
+// Sentinel maps store codes to their sentinel errors.
+func Sentinel(code string) error {
+	switch code {
+	case CodeGood:
+		return errGood
+	case CodeLeaky:
+		return errLeak
+	case CodeAnonBad:
+		return errAnon
+	}
+	return nil
+}
+
+// Retryable reports whether a code is safe to retry.
+func Retryable(code string) bool {
+	switch code {
+	case CodeBusy, CodeLeaky:
+		return true
+	}
+	return false
+}
+
+// FromError maps an error to a code and HTTP status.
+func FromError(err error) (string, int) {
+	if errors.Is(err, errGood) {
+		return CodeGood, 503
+	}
+	return CodeAnon, 500
+}

@@ -1,0 +1,395 @@
+// Package wireclosed implements the smrlint analyzer that keeps the wire
+// error-code taxonomy closed: every code is classified, and each class's
+// obligations — sentinel mapping, HTTP production, retryability, client
+// handling — are checked exhaustively, so adding a code without wiring it
+// through the stack is a lint error, not a latent 500.
+//
+// The taxonomy package (marked //smrlint:wire taxonomy in its package doc)
+// declares string constants named Code*; each carries a class marker:
+//
+//	//smrlint:wire store      — lost-ownership codes: must have a Sentinel
+//	                            case and be produced (HTTP-mapped) in FromError
+//	//smrlint:wire admission  — load-shedding codes: must be in Retryable's
+//	                            true cases and must NOT have a Sentinel
+//	//smrlint:wire anonymous  — codes with no sentinel identity: must NOT
+//	                            have a Sentinel case
+//
+// A WireCodeFact is exported per classified constant. Downstream packages opt
+// in via their package doc: //smrlint:wire consumer requires an Unwrap method
+// switching on a Code field to case every admission code; //smrlint:wire
+// producer requires every admission code to be referenced (produced) in the
+// package. In any package importing the taxonomy, comparing or switching a
+// Code field against a string literal that spells a known code value is
+// flagged — use the named constant.
+package wireclosed
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/directive"
+)
+
+// WireCodeFact records a wire code constant's class and string value for
+// importing packages.
+type WireCodeFact struct {
+	Class string
+	Value string
+}
+
+// AFact marks WireCodeFact as an analysis fact.
+func (*WireCodeFact) AFact() {}
+
+// Analyzer is the wireclosed analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wireclosed",
+	Doc:       "check exhaustiveness of the closed wire error-code taxonomy",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*WireCodeFact)(nil)},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	switch role(pass) {
+	case "taxonomy":
+		checkTaxonomy(pass)
+	case "consumer":
+		checkLiterals(pass)
+		checkConsumer(pass)
+	case "producer":
+		checkLiterals(pass)
+		checkProducer(pass)
+	default:
+		checkLiterals(pass)
+	}
+	return nil, nil
+}
+
+// role reads the package's //smrlint:wire marker from any file's package doc.
+func role(pass *analysis.Pass) string {
+	for _, f := range pass.Files {
+		if args, ok := directive.Marker(f.Doc, "wire"); ok {
+			return strings.TrimSpace(args)
+		}
+	}
+	return ""
+}
+
+// wireConst is a classified Code* constant in the taxonomy package.
+type wireConst struct {
+	obj   *types.Const
+	pos   token.Pos
+	class string
+	value string
+}
+
+func checkTaxonomy(pass *analysis.Pass) {
+	var consts []*wireConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Code") {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || !isString(obj.Type()) {
+						continue
+					}
+					wc := &wireConst{obj: obj, pos: name.Pos(), value: constant.StringVal(obj.Val())}
+					args, ok := directive.Marker(vs.Doc, "wire")
+					if !ok {
+						pass.Reportf(name.Pos(), "wire code %s needs a //smrlint:wire class marker (store, admission, or anonymous)", name.Name)
+					} else {
+						switch class := strings.TrimSpace(args); class {
+						case "store", "admission", "anonymous":
+							wc.class = class
+						default:
+							pass.Reportf(name.Pos(), "wire code %s has unknown class %q (want store, admission, or anonymous)", name.Name, class)
+						}
+					}
+					consts = append(consts, wc)
+				}
+			}
+		}
+	}
+
+	sentinelCases := constsInCases(pass, funcDecl(pass, "Sentinel"), nil)
+	retryTrue := constsInCases(pass, funcDecl(pass, "Retryable"), returnsTrue)
+	fromError := constsReferenced(pass, funcDecl(pass, "FromError"))
+
+	for _, wc := range consts {
+		if wc.class != "" {
+			pass.ExportObjectFact(wc.obj, &WireCodeFact{Class: wc.class, Value: wc.value})
+		}
+		name := wc.obj.Name()
+		switch wc.class {
+		case "store":
+			if !sentinelCases[wc.obj] {
+				pass.Reportf(wc.pos, "store code %s has no Sentinel case; callers cannot errors.Is it", name)
+			}
+			if !fromError[wc.obj] {
+				pass.Reportf(wc.pos, "store code %s is not produced in FromError (no HTTP mapping)", name)
+			}
+		case "admission":
+			if !retryTrue[wc.obj] {
+				pass.Reportf(wc.pos, "admission code %s is not in Retryable's true cases", name)
+			}
+			if sentinelCases[wc.obj] {
+				pass.Reportf(wc.pos, "admission code %s must not have a Sentinel case; clients map it in Unwrap", name)
+			}
+		case "anonymous":
+			if sentinelCases[wc.obj] {
+				pass.Reportf(wc.pos, "anonymous code %s must not have a Sentinel case", name)
+			}
+		}
+	}
+}
+
+// importedCodes collects classified wire constants from directly imported
+// packages via their exported facts.
+func importedCodes(pass *analysis.Pass) map[*types.Const]*WireCodeFact {
+	codes := make(map[*types.Const]*WireCodeFact)
+	for _, imp := range pass.Pkg.Imports() {
+		scope := imp.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			var fact WireCodeFact
+			if pass.ImportObjectFact(c, &fact) {
+				codes[c] = &fact
+			}
+		}
+	}
+	return codes
+}
+
+// checkConsumer requires an Unwrap method switching on a Code field to case
+// every admission code.
+func checkConsumer(pass *analysis.Pass) {
+	codes := importedCodes(pass)
+
+	var swPos token.Pos
+	cased := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Unwrap" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || !isCodeSelector(sw.Tag) {
+					return true
+				}
+				swPos = sw.Pos()
+				for _, stmt := range sw.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if obj := usedConst(pass, e); obj != nil {
+							cased[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !swPos.IsValid() {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Package, "consumer package has no Unwrap method switching on a Code field")
+		}
+		return
+	}
+	for c, fact := range codes {
+		if fact.Class == "admission" && !cased[c] {
+			pass.Reportf(swPos, "admission code %s has no case in Unwrap; clients cannot map it to a sentinel", c.Name())
+		}
+	}
+}
+
+// checkProducer requires every admission code to be referenced in the
+// package.
+func checkProducer(pass *analysis.Pass) {
+	codes := importedCodes(pass)
+	used := make(map[types.Object]bool)
+	for _, obj := range pass.TypesInfo.Uses {
+		if c, ok := obj.(*types.Const); ok {
+			used[c] = true
+		}
+	}
+	for c, fact := range codes {
+		if fact.Class == "admission" && !used[c] {
+			if len(pass.Files) > 0 {
+				pass.Reportf(pass.Files[0].Package, "admission code %s is never produced in this package", c.Name())
+			}
+		}
+	}
+}
+
+// checkLiterals flags Code-field comparisons and switches against string
+// literals spelling known code values.
+func checkLiterals(pass *analysis.Pass) {
+	codes := importedCodes(pass)
+	if len(codes) == 0 {
+		return
+	}
+	byValue := make(map[string]*types.Const, len(codes))
+	for c, fact := range codes {
+		byValue[fact.Value] = c
+	}
+	report := func(lit *ast.BasicLit) {
+		v, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		if c, ok := byValue[v]; ok {
+			pass.Reportf(lit.Pos(), "use %s.%s instead of the literal %q", c.Pkg().Name(), c.Name(), v)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				lit, olit := n.Y.(*ast.BasicLit)
+				other := n.X
+				if !olit {
+					lit, olit = n.X.(*ast.BasicLit)
+					other = n.Y
+				}
+				if olit && lit.Kind == token.STRING && isCodeSelector(other) {
+					report(lit)
+				}
+			case *ast.SwitchStmt:
+				if !isCodeSelector(n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							report(lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCodeSelector matches expressions selecting a field or method named Code.
+func isCodeSelector(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Code"
+}
+
+// usedConst resolves an expression to the constant it names, if any.
+func usedConst(pass *analysis.Pass, e ast.Expr) *types.Const {
+	switch e := e.(type) {
+	case *ast.Ident:
+		c, _ := pass.TypesInfo.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pass.TypesInfo.Uses[e.Sel].(*types.Const)
+		return c
+	case *ast.ParenExpr:
+		return usedConst(pass, e.X)
+	}
+	return nil
+}
+
+// funcDecl finds a top-level function by name.
+func funcDecl(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// returnsTrue reports whether a case clause's body begins with return true.
+func returnsTrue(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	ret, ok := cc.Body[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	id, ok := ret.Results[0].(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// constsInCases collects constants named in the case clauses of switches in
+// fn, optionally filtered by a case predicate.
+func constsInCases(pass *analysis.Pass, fn *ast.FuncDecl, filter func(*ast.CaseClause) bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn == nil || fn.Body == nil {
+		return out
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		if filter != nil && !filter(cc) {
+			return true
+		}
+		for _, e := range cc.List {
+			if obj := usedConst(pass, e); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// constsReferenced collects every constant used anywhere in fn.
+func constsReferenced(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn == nil || fn.Body == nil {
+		return out
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

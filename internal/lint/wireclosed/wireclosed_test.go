@@ -1,0 +1,13 @@
+package wireclosed_test
+
+import (
+	"testing"
+
+	"rdmaagreement/internal/lint/analysis"
+	"rdmaagreement/internal/lint/analysistest"
+	"rdmaagreement/internal/lint/wireclosed"
+)
+
+func TestWireClosed(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), []*analysis.Analyzer{wireclosed.Analyzer}, "wireclosed/tax", "wireclosed/produce", "wireclosed/consume")
+}

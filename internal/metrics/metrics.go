@@ -37,9 +37,13 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//smrlint:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//smrlint:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current count.
@@ -57,6 +61,8 @@ type Gauge struct {
 }
 
 // Add moves the gauge by delta and updates the high-water mark.
+//
+//smrlint:noalloc
 func (g *Gauge) Add(delta int64) {
 	v := g.v.Add(delta)
 	for {
@@ -112,6 +118,8 @@ func NewHistogram(bounds []time.Duration) *Histogram {
 }
 
 // Observe records one value. Negative durations clamp to zero.
+//
+//smrlint:noalloc
 func (h *Histogram) Observe(d time.Duration) {
 	v := int64(d)
 	if v < 0 {
@@ -229,9 +237,9 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 // keep the pointers.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry builds an empty registry.

@@ -38,6 +38,8 @@ var batchMagic = []byte("rbat\x00\x01")
 // appendBatch appends the binary framing of (origin, ids, cmds) to dst. The
 // two slices must be the same length; callers that encode straight from a
 // []queued batch use encodeBatchFrom instead.
+//
+//smrlint:noalloc
 func appendBatch(dst []byte, origin uint64, ids []uint64, cmds [][]byte) []byte {
 	dst = append(dst, batchMagic...)
 	dst = binary.AppendUvarint(dst, origin)
@@ -51,6 +53,8 @@ func appendBatch(dst []byte, origin uint64, ids []uint64, cmds [][]byte) []byte 
 }
 
 // batchSize is the exact encoded size, so encode allocates once, right-sized.
+//
+//smrlint:noalloc
 func batchSize(origin uint64, ids []uint64, cmds [][]byte) int {
 	n := len(batchMagic) + uvarintLen(origin) + uvarintLen(uint64(len(cmds)))
 	for i, cmd := range cmds {
@@ -59,6 +63,7 @@ func batchSize(origin uint64, ids []uint64, cmds [][]byte) int {
 	return n
 }
 
+//smrlint:noalloc
 func uvarintLen(v uint64) int {
 	n := 1
 	for v >= 0x80 {
@@ -71,6 +76,8 @@ func uvarintLen(v uint64) int {
 // encode emits the binary framing. The returned value is retained by the
 // protocol substrate and the log's slot window, so it is a fresh allocation,
 // not a pooled buffer.
+//
+//smrlint:noalloc
 func (b wireBatch) encode() types.Value {
 	return appendBatch(make([]byte, 0, batchSize(b.Origin, b.IDs, b.Cmds)), b.Origin, b.IDs, b.Cmds)
 }
@@ -78,6 +85,8 @@ func (b wireBatch) encode() types.Value {
 // encodeBatchFrom builds a slot value straight from a dispatched batch:
 // barriers contribute nothing to the value and are skipped in place, so the
 // hot path never materializes intermediate id/cmd slices.
+//
+//smrlint:noalloc
 func encodeBatchFrom(origin uint64, batch []queued) types.Value {
 	n := len(batchMagic) + uvarintLen(origin)
 	cmds := 0
@@ -110,6 +119,7 @@ var batchPool = sync.Pool{New: func() any { return new(wireBatch) }}
 
 func borrowBatch() *wireBatch { return batchPool.Get().(*wireBatch) }
 
+//smrlint:noalloc
 func releaseBatch(b *wireBatch) {
 	b.Origin = 0
 	b.IDs = b.IDs[:0]
@@ -127,6 +137,8 @@ func releaseBatch(b *wireBatch) {
 // overlong counts, a blob that is neither tagged nor JSON — is an error,
 // never a panic: decided values normally always decode, but the fuzz harness
 // (and a hostile raw Propose) feeds this arbitrary bytes.
+//
+//smrlint:noalloc
 func decodeBatchInto(b *wireBatch, raw types.Value) error {
 	if bytes.HasPrefix(raw, batchMagic) {
 		return decodeBinaryInto(b, raw[len(batchMagic):])
@@ -143,6 +155,7 @@ func decodeBatchInto(b *wireBatch, raw types.Value) error {
 	return nil
 }
 
+//smrlint:noalloc
 func decodeBinaryInto(b *wireBatch, rest []byte) error {
 	origin, n := binary.Uvarint(rest)
 	if n <= 0 {
@@ -200,6 +213,8 @@ func decodeBatch(raw types.Value) (wireBatch, error) {
 // batch: a header parse for binary values, a full decode for legacy JSON
 // ones. The dispatcher uses it at result-receipt time to tell won from
 // displaced before the slot reaches the applier.
+//
+//smrlint:noalloc
 func peekOrigin(raw types.Value) (uint64, error) {
 	if bytes.HasPrefix(raw, batchMagic) {
 		origin, n := binary.Uvarint(raw[len(batchMagic):])

@@ -317,30 +317,30 @@ type Log struct {
 	m *logMetrics // slot-lifecycle instrumentation; never nil
 
 	mu           sync.Mutex
-	sm           StateMachine // authoritative machine, committer-applied
-	pending      []queued
-	nextID       uint64
-	holder       types.ProcID           // lease holder the committer proposes from
-	epoch        uint64                 // lease epoch the committer has adopted
-	epochCtx     context.Context        // cancelled when the adopted epoch is superseded
-	epochCancel  context.CancelFunc     // fences epochCtx
-	deciders     map[uint64]SlotDecider // per retained slot: who drove its decision, under which epoch
-	entries      []Entry                // committed entries since the last truncation
-	firstIndex   uint64                 // index of entries[0]
-	slots        []types.Value          // decided value per retained slot, in slot order
-	firstSlot    uint64                 // slot of slots[0]
-	sinceSnap    int                    // entries applied since the last snapshot
-	sinceSlots   int                    // slots decided since the last truncation
-	snapFailures int                    // failed Snapshot() attempts
-	snapErr      error                  // last Snapshot() failure; nil once one succeeds
-	snap         *snapState
-	snapCount    int
-	replicas     map[types.ProcID]*replicaView
-	lagging      map[types.ProcID]bool // replicas that missed a catch-up window
-	stats        Stats                 // recovery counters
-	closed       bool
-	failure      error      // set when the committer halts on an unrecoverable slot
-	applied      *sync.Cond // on mu: broadcast when a view advances, or on close/halt
+	sm           StateMachine                  // authoritative machine, committer-applied
+	pending      []queued                      // guarded by mu
+	nextID       uint64                        // guarded by mu
+	holder       types.ProcID                  // guarded by mu; lease holder the committer proposes from
+	epoch        uint64                        // guarded by mu; lease epoch the committer has adopted
+	epochCtx     context.Context               // guarded by mu; cancelled when the adopted epoch is superseded
+	epochCancel  context.CancelFunc            // guarded by mu; fences epochCtx
+	deciders     map[uint64]SlotDecider        // guarded by mu; per retained slot: who drove its decision, under which epoch
+	entries      []Entry                       // guarded by mu; committed entries since the last truncation
+	firstIndex   uint64                        // guarded by mu; index of entries[0]
+	slots        []types.Value                 // guarded by mu; decided value per retained slot, in slot order
+	firstSlot    uint64                        // guarded by mu; slot of slots[0]
+	sinceSnap    int                           // guarded by mu; entries applied since the last snapshot
+	sinceSlots   int                           // guarded by mu; slots decided since the last truncation
+	snapFailures int                           // guarded by mu; failed Snapshot() attempts
+	snapErr      error                         // guarded by mu; last Snapshot() failure; nil once one succeeds
+	snap         *snapState                    // guarded by mu
+	snapCount    int                           // guarded by mu
+	replicas     map[types.ProcID]*replicaView // guarded by mu
+	lagging      map[types.ProcID]bool         // guarded by mu; replicas that missed a catch-up window
+	stats        Stats                         // guarded by mu; recovery counters
+	closed       bool                          // guarded by mu
+	failure      error                         // guarded by mu; set when the committer halts on an unrecoverable slot
+	applied      *sync.Cond                    // on mu: broadcast when a view advances, or on close/halt
 
 	applyByID map[uint64]int // recordSlot scratch (applier-only): command id → result offset
 
@@ -607,6 +607,8 @@ func (l *Log) Read(ctx context.Context, query []byte) ([]byte, error) {
 // held once leaseValid passed: it re-checks the lifecycle, counts the lease
 // read, and returns the zero-slot read index — the applied prefix right now,
 // which covers every returned Propose.
+//
+//smrlint:holds mu
 func (l *Log) leaseReadLocked() (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
@@ -1987,6 +1989,8 @@ func (l *Log) maybeSnapshot() {
 // releaseSlots. View progress (nextSlot/nextIndex/machines) is NOT touched:
 // each truncation path decides for itself how a behind view catches up.
 // Callers must hold l.mu.
+//
+//smrlint:holds mu
 func (l *Log) truncateLocked() (releaseFrom, lastSlot uint64) {
 	releaseFrom = l.firstSlot
 	lastSlot = l.firstSlot + uint64(len(l.slots)) - 1

@@ -27,7 +27,7 @@ func TestKeyMovedErrorCarriesOwner(t *testing.T) {
 	defer cancel()
 
 	// Find a key the grown ring hands to the new shard.
-	oldRing := kv.s.ring.Clone()
+	oldRing := kv.s.ringSnapshot().Clone()
 	grown := oldRing.Clone()
 	grown.Add("shard-2")
 	var key, oldOwner string

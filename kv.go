@@ -42,6 +42,7 @@ type kvResult struct {
 	Value string `json:"value"`
 }
 
+//smrlint:noalloc
 func encodeKVCommand(key, value string) ([]byte, error) {
 	out := make([]byte, 0, len(kvMagic)+binary.MaxVarintLen64+len(key)+len(value))
 	out = append(out, kvMagic...)
@@ -78,6 +79,8 @@ func decodeKVCommand(raw []byte) (kvCommand, error) {
 
 // encodeKVResult is the machine's response framing: one found byte plus the
 // value bytes. A legacy JSON response (always starting '{') stays decodable.
+//
+//smrlint:noalloc
 func encodeKVResult(found bool, value string) []byte {
 	out := make([]byte, 1, 1+len(value))
 	if found {

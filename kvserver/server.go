@@ -24,6 +24,8 @@
 //
 // Backpressure: only the data path (/v1/kv/) is shed — admin, ring, stats
 // and metrics stay reachable exactly when an operator needs them most.
+//
+//smrlint:wire producer
 package kvserver
 
 import (
@@ -79,7 +81,7 @@ type Server struct {
 	draining atomic.Bool
 
 	mu   sync.Mutex
-	http *http.Server
+	http *http.Server // guarded by mu
 
 	// Counters live in the store's own registry, so /metrics and the bench's
 	// registry snapshots see serving-layer and consensus-layer numbers side

@@ -11,6 +11,13 @@ import (
 	"rdmaagreement/internal/shard"
 )
 
+// ringSnapshot reads the committed ring under s.mu for test inspection.
+func (s *Sharded) ringSnapshot() *shard.Ring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring
+}
+
 // rawFoundIn counts the groups whose machine actually holds key, by querying
 // every shard's log with a RAW (non-envelope) query — which bypasses the
 // ownership gate and so sees the machine's true contents, hidden ceded state
@@ -56,11 +63,11 @@ func TestAddShardMovesKeysExactlyOnce(t *testing.T) {
 		}
 	}
 
-	oldRing := kv.s.ring.Clone()
+	oldRing := kv.s.ringSnapshot().Clone()
 	if err := kv.AddShard(ctx, "shard-2"); err != nil {
 		t.Fatalf("AddShard: %v", err)
 	}
-	newRing := kv.s.ring
+	newRing := kv.s.ringSnapshot()
 
 	// The ring diff predicts the migrated set.
 	predicted := 0
@@ -289,7 +296,7 @@ func TestOwnershipGateRefusesMovedKey(t *testing.T) {
 	defer cancel()
 
 	// Find a key that the grown ring moves to the new shard.
-	oldRing := kv.s.ring.Clone()
+	oldRing := kv.s.ringSnapshot().Clone()
 	grown := oldRing.Clone()
 	grown.Add("shard-2")
 	var key, oldOwner string

@@ -450,11 +450,11 @@ type Sharded struct {
 	metrics *metrics.Registry
 
 	mu       sync.RWMutex
-	ring     *shard.Ring
-	logs     map[string]*smr.Log
-	mig      *migration
-	migEpoch uint64
-	closed   bool
+	ring     *shard.Ring         // guarded by mu
+	logs     map[string]*smr.Log // guarded by mu
+	mig      *migration          // guarded by mu
+	migEpoch uint64              // guarded by mu
+	closed   bool                // guarded by mu
 
 	// rebalanceMu serializes whole AddShard/RemoveShard operations.
 	rebalanceMu sync.Mutex
@@ -648,6 +648,8 @@ func (s *Sharded) rerouted(key, name string) bool {
 // mid-rebalance handoff already names its new owner. When the key's range is
 // still moving it additionally returns the channel closed when the handoff
 // commits. Callers must hold s.mu (read or write).
+//
+//smrlint:holds mu
 func (s *Sharded) ownerLocked(key string) (name string, handedOff <-chan struct{}) {
 	name = s.ring.Shard(key)
 	if s.mig != nil {
